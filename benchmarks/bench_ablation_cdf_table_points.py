@@ -1,0 +1,18 @@
+"""Ablation A3 — CDF-table resolution: accuracy vs memory (section 4.2).
+
+The thesis worries that CDF-table memory "can quickly become
+prohibitively large"; this bench measures the accuracy bought per byte.
+"""
+
+from repro.harness import ablation_cdf_table_points
+
+from .conftest import emit, once
+
+
+def test_bench_ablation_cdf_table_points(benchmark):
+    result = once(
+        benchmark,
+        lambda: ablation_cdf_table_points(points=(17, 65, 257, 1025, 4097),
+                                          n_samples=50_000, seed=0),
+    )
+    emit("bench_ablation_cdf_table_points", result.formatted())

@@ -1,0 +1,19 @@
+"""Ablation A2 — server buffer-cache size sweep.
+
+Shows why steady-state reads are network-bound (high hit ratios) and what
+removing the cache costs.
+"""
+
+from repro.harness import ablation_server_cache
+
+from .conftest import emit, once
+
+
+def test_bench_ablation_server_cache(benchmark):
+    result = once(
+        benchmark,
+        lambda: ablation_server_cache(n_users=3, sessions_total=30,
+                                      total_files=300, seed=0,
+                                      cache_sizes=(0, 64, 1024)),
+    )
+    emit("bench_ablation_server_cache", result.formatted())

@@ -1,0 +1,18 @@
+"""Ablation A1 — server write policy (write-behind vs strict NFSv2).
+
+DESIGN.md calls out the write-policy choice as the main calibration
+decision of the NFS substitute; this bench quantifies it.
+"""
+
+from repro.harness import ablation_write_policy
+
+from .conftest import emit, once
+
+
+def test_bench_ablation_write_policy(benchmark):
+    result = once(
+        benchmark,
+        lambda: ablation_write_policy(n_users=3, sessions_total=30,
+                                      total_files=300, seed=0),
+    )
+    emit("bench_ablation_write_policy", result.formatted())

@@ -1,0 +1,19 @@
+"""Section 5.3 — the file-system comparison procedure, end to end.
+
+Identical workloads (same seed, same operation streams) against the three
+candidate file systems: simulated SUN NFS, local disk, and an AFS-like
+whole-file-caching system.
+"""
+
+from repro.harness import compare_file_systems
+
+from .conftest import emit, once
+
+
+def test_bench_comparison_5_3(benchmark):
+    result = once(
+        benchmark,
+        lambda: compare_file_systems(n_users=4, sessions_total=40,
+                                     total_files=300, seed=0),
+    )
+    emit("bench_comparison_5_3", result.formatted())

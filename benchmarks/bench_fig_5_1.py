@@ -1,0 +1,10 @@
+"""Figure 5.1 — example phase-type exponential densities."""
+
+from repro.harness import figure_5_1
+
+from .conftest import emit, once
+
+
+def test_bench_fig_5_1(benchmark):
+    result = once(benchmark, lambda: figure_5_1())
+    emit("bench_fig_5_1", result.formatted())

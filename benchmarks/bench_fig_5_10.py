@@ -1,0 +1,10 @@
+"""Figure 5.10 — response/byte vs users, 20% heavy / 80% light."""
+
+from repro.harness import figure_5_10
+
+from .conftest import emit, once
+
+
+def test_bench_fig_5_10(benchmark):
+    result = once(benchmark, lambda: figure_5_10(sessions_total=50, total_files=300, seed=0))
+    emit("bench_fig_5_10", result.formatted())

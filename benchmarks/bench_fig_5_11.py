@@ -1,0 +1,10 @@
+"""Figure 5.11 — response/byte vs users, 100% light I/O."""
+
+from repro.harness import figure_5_11
+
+from .conftest import emit, once
+
+
+def test_bench_fig_5_11(benchmark):
+    result = once(benchmark, lambda: figure_5_11(sessions_total=50, total_files=300, seed=0))
+    emit("bench_fig_5_11", result.formatted())

@@ -1,0 +1,10 @@
+"""Figure 5.12 — access time per byte vs access size (128-2048 B)."""
+
+from repro.harness import figure_5_12
+
+from .conftest import emit, once
+
+
+def test_bench_fig_5_12(benchmark):
+    result = once(benchmark, lambda: figure_5_12(sessions_total=50, total_files=300, seed=0))
+    emit("bench_fig_5_12", result.formatted())

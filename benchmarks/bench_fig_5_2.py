@@ -1,0 +1,10 @@
+"""Figure 5.2 — example multi-stage gamma densities."""
+
+from repro.harness import figure_5_2
+
+from .conftest import emit, once
+
+
+def test_bench_fig_5_2(benchmark):
+    result = once(benchmark, lambda: figure_5_2())
+    emit("bench_fig_5_2", result.formatted())

@@ -1,0 +1,10 @@
+"""Figure 5.3 — average access-per-byte over 600 login sessions."""
+
+from repro.harness import figure_5_3
+
+from .conftest import emit, once
+
+
+def test_bench_fig_5_3(benchmark):
+    result = once(benchmark, lambda: figure_5_3(sessions=600, seed=0))
+    emit("bench_fig_5_3", result.formatted())

@@ -1,0 +1,10 @@
+"""Figure 5.4 — average file size over 600 login sessions."""
+
+from repro.harness import figure_5_4
+
+from .conftest import emit, once
+
+
+def test_bench_fig_5_4(benchmark):
+    result = once(benchmark, lambda: figure_5_4(sessions=600, seed=0))
+    emit("bench_fig_5_4", result.formatted())

@@ -1,0 +1,10 @@
+"""Figure 5.5 — average number of files referenced over 600 sessions."""
+
+from repro.harness import figure_5_5
+
+from .conftest import emit, once
+
+
+def test_bench_fig_5_5(benchmark):
+    result = once(benchmark, lambda: figure_5_5(sessions=600, seed=0))
+    emit("bench_fig_5_5", result.formatted())

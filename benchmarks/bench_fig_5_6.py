@@ -1,0 +1,10 @@
+"""Figure 5.6 — response/byte vs users, 100% extremely heavy I/O."""
+
+from repro.harness import figure_5_6
+
+from .conftest import emit, once
+
+
+def test_bench_fig_5_6(benchmark):
+    result = once(benchmark, lambda: figure_5_6(sessions_total=50, total_files=300, seed=0))
+    emit("bench_fig_5_6", result.formatted())

@@ -1,0 +1,10 @@
+"""Figure 5.8 — response/byte vs users, 80% heavy / 20% light."""
+
+from repro.harness import figure_5_8
+
+from .conftest import emit, once
+
+
+def test_bench_fig_5_8(benchmark):
+    result = once(benchmark, lambda: figure_5_8(sessions_total=50, total_files=300, seed=0))
+    emit("bench_fig_5_8", result.formatted())

@@ -1,0 +1,10 @@
+"""Figure 5.9 — response/byte vs users, 50% heavy / 50% light."""
+
+from repro.harness import figure_5_9
+
+from .conftest import emit, once
+
+
+def test_bench_fig_5_9(benchmark):
+    result = once(benchmark, lambda: figure_5_9(sessions_total=50, total_files=300, seed=0))
+    emit("bench_fig_5_9", result.formatted())

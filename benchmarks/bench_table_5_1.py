@@ -1,0 +1,15 @@
+"""Table 5.1 — file characterization by category.
+
+Builds the initial file system at paper scale (4 000 files) and
+compares realised per-category mean sizes and file shares against
+the published table.
+"""
+
+from repro.harness import table_5_1
+
+from .conftest import emit, once
+
+
+def test_bench_table_5_1(benchmark):
+    result = once(benchmark, lambda: table_5_1(total_files=4000, seed=0))
+    emit("bench_table_5_1", result.formatted())

@@ -1,0 +1,14 @@
+"""Table 5.2 — user characterization by category.
+
+Runs 300 login sessions and re-derives the user characterization
+from the usage log, closing the loop on the generator's input.
+"""
+
+from repro.harness import table_5_2
+
+from .conftest import emit, once
+
+
+def test_bench_table_5_2(benchmark):
+    result = once(benchmark, lambda: table_5_2(sessions=300, seed=0))
+    emit("bench_table_5_2", result.formatted())

@@ -1,0 +1,14 @@
+"""Table 5.3 — access size and response time vs concurrent users.
+
+Simulated SUN NFS, heavy-I/O users (5 000 µs think time), 1-6
+concurrent users, ~50 login sessions per point.
+"""
+
+from repro.harness import table_5_3
+
+from .conftest import emit, once
+
+
+def test_bench_table_5_3(benchmark):
+    result = once(benchmark, lambda: table_5_3(max_users=6, sessions_total=50, total_files=300, seed=0))
+    emit("bench_table_5_3", result.formatted())

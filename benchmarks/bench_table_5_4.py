@@ -1,0 +1,14 @@
+"""Table 5.4 — user types simulated in the experiments.
+
+Verifies the generated think-time streams hit the paper's three
+user-type means (0 / 5 000 / 20 000 µs).
+"""
+
+from repro.harness import table_5_4
+
+from .conftest import emit, once
+
+
+def test_bench_table_5_4(benchmark):
+    result = once(benchmark, lambda: table_5_4(sessions=50, seed=0))
+    emit("bench_table_5_4", result.formatted())

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+paper's experiment sizes, prints the rows/series, and archives them under
+``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(ident: str, text: str) -> None:
+    """Print a reproduced table/figure and archive it to results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{ident}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    These are experiment regenerations, not micro-benchmarks: one round
+    is the measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+This environment has setuptools but no ``wheel`` package and no network, so
+``pip install -e .`` cannot build a PEP 660 editable wheel.  ``python
+setup.py develop`` (or ``pip install -e . --no-build-isolation`` on systems
+with wheel available) installs the package equivalently.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro — a reproduction of Kao's user-oriented synthetic workload generator.
+
+Reference: Wei-Lun Kao, *A User-Oriented Synthetic Workload Generator*,
+M.S. thesis, University of Illinois at Urbana-Champaign, 1991
+(CRHC-91-19); published at ICDCS 1992.
+
+The package provides:
+
+* :mod:`repro.distributions` — phase-type exponential and multi-stage
+  gamma families, tabular PDF/CDF input, Simpson-rule CDF tables;
+* :mod:`repro.vfs` — a syscall-level file-system substrate (in-memory
+  Unix-like FS plus a sandboxed real-directory backend);
+* :mod:`repro.sim` — a deterministic discrete-event simulation engine;
+* :mod:`repro.nfs` — simulated SUN-NFS / local-disk / AFS-like backends;
+* :mod:`repro.core` — the workload generator itself (GDS, FSC, USIM),
+  the paper's measured tables, the usage log and the analyzer;
+* :mod:`repro.harness` — one function per paper table and figure.
+
+Quickstart::
+
+    from repro import paper_workload_spec, WorkloadGenerator
+
+    spec = paper_workload_spec(n_users=3, total_files=200, seed=42)
+    result = WorkloadGenerator(spec).run_simulated(sessions_per_user=5)
+    print(result.analyzer.response_time_stats().summary())
+"""
+
+from .core import (
+    DistributionSpecifier,
+    FileCategory,
+    FileCategorySpec,
+    FileSystemCreator,
+    FileSystemLayout,
+    OpRecord,
+    PhaseModel,
+    RealRunner,
+    RunResult,
+    SessionGenerator,
+    SessionRecord,
+    UsageAnalyzer,
+    UsageLog,
+    UsageSpec,
+    UserTypeSpec,
+    WorkloadGenerator,
+    WorkloadSpec,
+    paper_file_categories,
+    paper_usage_specs,
+    paper_user_type,
+    paper_workload_spec,
+)
+from .distributions import (
+    CdfTable,
+    Constant,
+    Distribution,
+    EmpiricalDistribution,
+    MultiStageGamma,
+    PhaseTypeExponential,
+    RandomStreams,
+    ShiftedExponential,
+    ShiftedGamma,
+    TabulatedCdf,
+    TabulatedPdf,
+    Uniform,
+)
+from .vfs import LocalFileSystem, MemoryFileSystem, OpenFlags
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistributionSpecifier",
+    "FileCategory",
+    "FileCategorySpec",
+    "FileSystemCreator",
+    "FileSystemLayout",
+    "OpRecord",
+    "PhaseModel",
+    "RealRunner",
+    "RunResult",
+    "SessionGenerator",
+    "SessionRecord",
+    "UsageAnalyzer",
+    "UsageLog",
+    "UsageSpec",
+    "UserTypeSpec",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "paper_file_categories",
+    "paper_usage_specs",
+    "paper_user_type",
+    "paper_workload_spec",
+    "CdfTable",
+    "Constant",
+    "Distribution",
+    "EmpiricalDistribution",
+    "MultiStageGamma",
+    "PhaseTypeExponential",
+    "RandomStreams",
+    "ShiftedExponential",
+    "ShiftedGamma",
+    "TabulatedCdf",
+    "TabulatedPdf",
+    "Uniform",
+    "LocalFileSystem",
+    "MemoryFileSystem",
+    "OpenFlags",
+    "__version__",
+]

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro`` / ``repro-workload``.
+
+Subcommands mirror the workload generator's pipeline and the paper's
+experiments:
+
+* ``simulate`` — run a simulated experiment and print the measurements;
+* ``real`` — drive a real directory with the generated workload;
+* ``figures`` — regenerate a paper table/figure by identifier;
+* ``compare`` — the section 5.3 file-system comparison;
+* ``mkfs`` — create the initial file system in a directory (FSC only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import WorkloadGenerator, paper_workload_spec
+from .harness import (
+    compare_file_systems,
+    figure_5_1,
+    figure_5_2,
+    figure_5_3,
+    figure_5_4,
+    figure_5_5,
+    figure_5_6,
+    figure_5_7,
+    figure_5_8,
+    figure_5_9,
+    figure_5_10,
+    figure_5_11,
+    figure_5_12,
+    format_kv,
+    table_5_1,
+    table_5_2,
+    table_5_3,
+    table_5_4,
+)
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "table5.1": lambda: table_5_1(),
+    "table5.2": lambda: table_5_2(),
+    "table5.3": lambda: table_5_3(),
+    "table5.4": lambda: table_5_4(),
+    "fig5.1": lambda: figure_5_1(),
+    "fig5.2": lambda: figure_5_2(),
+    "fig5.3": lambda: figure_5_3(),
+    "fig5.4": lambda: figure_5_4(),
+    "fig5.5": lambda: figure_5_5(),
+    "fig5.6": lambda: figure_5_6(),
+    "fig5.7": lambda: figure_5_7(),
+    "fig5.8": lambda: figure_5_8(),
+    "fig5.9": lambda: figure_5_9(),
+    "fig5.10": lambda: figure_5_10(),
+    "fig5.11": lambda: figure_5_11(),
+    "fig5.12": lambda: figure_5_12(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-workload",
+        description="User-oriented synthetic workload generator "
+                    "(Kao 1991 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--users", type=int, default=2)
+        p.add_argument("--sessions", type=int, default=5,
+                       help="login sessions per user")
+        p.add_argument("--files", type=int, default=300,
+                       help="files the FSC creates")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--heavy-fraction", type=float, default=1.0)
+        p.add_argument("--think-us", type=float, default=5000.0,
+                       help="heavy users' mean think time (µs)")
+
+    sim = sub.add_parser("simulate", help="run a simulated experiment")
+    common(sim)
+    sim.add_argument("--backend", choices=("nfs", "local", "afs"),
+                     default="nfs")
+
+    real = sub.add_parser("real", help="drive a real directory")
+    common(real)
+    real.add_argument("directory", help="sandbox directory to create/use")
+    real.add_argument("--sleep-thinks", action="store_true",
+                      help="actually sleep think times (paced live load)")
+
+    mkfs = sub.add_parser("mkfs", help="create the initial file system only")
+    common(mkfs)
+    mkfs.add_argument("directory")
+
+    fig = sub.add_parser("figures", help="regenerate a paper table/figure")
+    fig.add_argument("ident", choices=sorted(_FIGURES),
+                     help="e.g. table5.3 or fig5.6")
+
+    cmp_p = sub.add_parser("compare", help="section 5.3 comparison")
+    common(cmp_p)
+    return parser
+
+
+def _spec_from(args: argparse.Namespace):
+    return paper_workload_spec(
+        n_users=args.users,
+        total_files=args.files,
+        seed=args.seed,
+        heavy_fraction=args.heavy_fraction,
+        heavy_think_us=args.think_us,
+    )
+
+
+def _print_summary(result) -> None:
+    analyzer = result.analyzer
+    resp = analyzer.response_time_stats().summary()
+    print(format_kv(
+        {
+            "backend": result.backend,
+            "sessions": len(result.log.sessions),
+            "system calls": len(result.log.operations),
+            "mean response (µs)": resp["mean"],
+            "response std (µs)": resp["std"],
+            "response per byte (µs/B)": analyzer.response_per_byte(),
+        },
+        title="Run summary",
+    ))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "simulate":
+        result = WorkloadGenerator(_spec_from(args)).run_simulated(
+            sessions_per_user=args.sessions, backend=args.backend
+        )
+        _print_summary(result)
+    elif args.command == "real":
+        result = WorkloadGenerator(_spec_from(args)).run_real(
+            args.directory,
+            sessions_per_user=args.sessions,
+            sleep_thinks=args.sleep_thinks,
+        )
+        _print_summary(result)
+    elif args.command == "mkfs":
+        from .vfs import LocalFileSystem
+
+        generator = WorkloadGenerator(_spec_from(args))
+        layout = generator.create_file_system(LocalFileSystem(args.directory))
+        print(format_kv(
+            {
+                "directory": args.directory,
+                "files created": layout.total_files,
+                "per-category": ", ".join(
+                    f"{k}={v}" for k, v in
+                    sorted(layout.count_by_category().items())
+                ),
+            },
+            title="File system created",
+        ))
+    elif args.command == "figures":
+        print(_FIGURES[args.ident]().formatted())
+    elif args.command == "compare":
+        comparison = compare_file_systems(
+            n_users=args.users,
+            sessions_total=args.sessions * args.users,
+            total_files=args.files,
+            seed=args.seed,
+            heavy_fraction=args.heavy_fraction,
+        )
+        print(comparison.formatted())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""The user-oriented synthetic workload generator (the paper's contribution).
+
+Exports the workload model (:mod:`~repro.core.spec`), the paper's measured
+tables (:mod:`~repro.core.datasets`), the three components — GDS, FSC,
+USIM — plus the usage log, the analyzer, and the Figure 4.1 facade.
+"""
+
+from .analyzer import CategoryCharacterization, SessionMeasures, UsageAnalyzer
+from .characterize import CategorySamples, characterize_log, extract_samples
+from .datasets import (
+    DEFAULT_ACCESS_SIZE_MEAN,
+    DEFAULT_THINK_TIME_MEAN,
+    TABLE_5_1,
+    TABLE_5_2,
+    TABLE_5_4_THINK_TIME_US,
+    Table51Row,
+    Table52Row,
+    paper_file_categories,
+    paper_usage_specs,
+    paper_user_type,
+    paper_workload_spec,
+)
+from .fsc import CreatedFile, FileSystemCreator, FileSystemLayout
+from .gds import DistributionSpecifier
+from .generator import RunResult, SimulationHandle, TableSampler, WorkloadGenerator
+from .oplog import OpRecord, SessionRecord, UsageLog
+from .plotting import render_histogram, render_pdf, render_series, sparkline
+from .spec import (
+    FileCategory,
+    FileCategorySpec,
+    FileType,
+    Owner,
+    SpecError,
+    UsageSpec,
+    UserTypeSpec,
+    UseType,
+    WorkloadSpec,
+)
+from .usim import (
+    PhaseModel,
+    RealRunner,
+    SessionGenerator,
+    SessionOp,
+    simulated_user_process,
+)
+
+__all__ = [
+    "CategoryCharacterization",
+    "CategorySamples",
+    "characterize_log",
+    "extract_samples",
+    "SessionMeasures",
+    "UsageAnalyzer",
+    "DEFAULT_ACCESS_SIZE_MEAN",
+    "DEFAULT_THINK_TIME_MEAN",
+    "TABLE_5_1",
+    "TABLE_5_2",
+    "TABLE_5_4_THINK_TIME_US",
+    "Table51Row",
+    "Table52Row",
+    "paper_file_categories",
+    "paper_usage_specs",
+    "paper_user_type",
+    "paper_workload_spec",
+    "CreatedFile",
+    "FileSystemCreator",
+    "FileSystemLayout",
+    "DistributionSpecifier",
+    "RunResult",
+    "SimulationHandle",
+    "TableSampler",
+    "WorkloadGenerator",
+    "OpRecord",
+    "SessionRecord",
+    "UsageLog",
+    "render_histogram",
+    "render_pdf",
+    "render_series",
+    "sparkline",
+    "FileCategory",
+    "FileCategorySpec",
+    "FileType",
+    "Owner",
+    "SpecError",
+    "UsageSpec",
+    "UserTypeSpec",
+    "UseType",
+    "WorkloadSpec",
+    "PhaseModel",
+    "RealRunner",
+    "SessionGenerator",
+    "SessionOp",
+    "simulated_user_process",
+]

@@ -1,0 +1,148 @@
+"""The Distribution Specifier — the thesis's GDS without the X11 dependency.
+
+Section 4.1.1: the GDS "allows users to input, fit and modify
+distributions", supports phase-type exponential and multi-stage gamma
+families or direct PDF/CDF tables, and "creates CDF tables for the FSC and
+the USIM" using Simpson integration.
+
+:class:`DistributionSpecifier` is that component: a named registry of
+distributions with fitting, tabulation into
+:class:`~repro.distributions.CdfTable` objects, terminal rendering, and
+the section 4.2 memory-footprint report (#user types × #file types ×
+samples per table is exactly the product the thesis worries about).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..distributions import (
+    CdfTable,
+    Distribution,
+    DistributionError,
+    FitResult,
+    TabulatedCdf,
+    TabulatedPdf,
+    fit_best,
+    fit_multi_stage_gamma,
+    fit_phase_type_exponential,
+)
+from .plotting import render_pdf
+
+__all__ = ["DistributionSpecifier"]
+
+
+class DistributionSpecifier:
+    """Named distribution registry + CDF-table factory (the GDS)."""
+
+    def __init__(self, table_points: int = 257, coverage: float = 0.999):
+        if table_points < 3:
+            raise DistributionError("table_points must be >= 3")
+        if not (0.0 < coverage < 1.0):
+            raise DistributionError("coverage must lie in (0, 1)")
+        self.table_points = table_points
+        self.coverage = coverage
+        self._distributions: dict[str, Distribution] = {}
+        self._tables: dict[str, CdfTable] = {}
+
+    # -- specification ---------------------------------------------------------
+
+    def specify(self, name: str, dist: Distribution) -> Distribution:
+        """Register a parametric distribution under ``name``."""
+        if not name:
+            raise DistributionError("distribution name must be non-empty")
+        self._distributions[name] = dist
+        self._tables.pop(name, None)  # stale table, if any
+        return dist
+
+    def specify_pdf_values(
+        self, name: str, xs: Sequence[float], densities: Sequence[float]
+    ) -> Distribution:
+        """Register a distribution from raw PDF values (GDS direct input)."""
+        return self.specify(name, TabulatedPdf(xs, densities))
+
+    def specify_cdf_values(
+        self, name: str, xs: Sequence[float], cdf_values: Sequence[float]
+    ) -> Distribution:
+        """Register a distribution from raw CDF values (GDS direct input)."""
+        return self.specify(name, TabulatedCdf(xs, cdf_values))
+
+    def fit(
+        self,
+        name: str,
+        samples: Sequence[float],
+        family: str = "auto",
+        n_phases: int = 2,
+    ) -> FitResult:
+        """Fit ``samples`` and register the result under ``name``.
+
+        ``family`` is ``"exponential"`` (phase-type), ``"gamma"``
+        (multi-stage) or ``"auto"`` (best KS over both, 1..n_phases).
+        """
+        if family == "exponential":
+            result = fit_phase_type_exponential(samples, n_phases=n_phases)
+        elif family == "gamma":
+            result = fit_multi_stage_gamma(samples, n_stages=n_phases)
+        elif family == "auto":
+            result = fit_best(samples, max_phases=n_phases)
+        else:
+            raise DistributionError(
+                f"unknown family {family!r}; use exponential/gamma/auto"
+            )
+        self.specify(name, result.distribution)
+        return result
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, name: str) -> Distribution:
+        """The registered distribution for ``name``."""
+        try:
+            return self._distributions[name]
+        except KeyError:
+            raise DistributionError(f"no distribution named {name!r}") from None
+
+    def names(self) -> list[str]:
+        """Registered names, sorted."""
+        return sorted(self._distributions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._distributions
+
+    def __len__(self) -> int:
+        return len(self._distributions)
+
+    # -- CDF tables (the GDS output consumed by FSC and USIM) ------------------
+
+    def table(self, name: str) -> CdfTable:
+        """The CDF table for ``name`` (built lazily, cached)."""
+        if name not in self._tables:
+            self._tables[name] = CdfTable.from_distribution(
+                self.get(name),
+                n_points=self.table_points,
+                coverage=self.coverage,
+            )
+        return self._tables[name]
+
+    def tables(self) -> dict[str, CdfTable]:
+        """CDF tables for every registered distribution."""
+        return {name: self.table(name) for name in self._distributions}
+
+    def memory_report(self) -> dict[str, int]:
+        """Bytes per table plus a total — the section 4.2 concern.
+
+        The thesis notes the footprint is the product of user types, file
+        types and samples per distribution "and can quickly become
+        prohibitively large"; this report makes the cost observable.
+        """
+        report = {name: self.table(name).memory_bytes for name in self.names()}
+        report["TOTAL"] = sum(report.values())
+        return report
+
+    # -- display -----------------------------------------------------------------
+
+    def render(self, name: str, height: int = 10, n_points: int = 72) -> str:
+        """ASCII plot of a registered density (the GDS display surface)."""
+        return render_pdf(
+            self.get(name), n_points=n_points, height=height,
+            title=f"{name}: {self.get(name).describe()}",
+        )

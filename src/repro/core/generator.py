@@ -1,0 +1,304 @@
+"""The workload generator facade — Figure 4.1 as one object.
+
+``WorkloadGenerator`` wires the three components exactly the way the
+thesis's block diagram does:
+
+1. the GDS (:class:`~repro.core.gds.DistributionSpecifier`) registers every
+   file and usage distribution and produces CDF tables;
+2. the FSC (:class:`~repro.core.fsc.FileSystemCreator`) creates the initial
+   file system from the file-distribution tables;
+3. the USIM (:class:`~repro.core.usim.SessionGenerator` plus an executor)
+   executes file I/O operations drawn from the usage-distribution tables,
+   either inside the discrete-event simulation (simulated SUN NFS,
+   local-disk or AFS-like backends) or against a real directory.
+
+Sampling in both the FSC and the USIM goes through the GDS's CDF tables —
+not the parametric forms — matching the thesis's pipeline (and its
+section 4.2 warning about table memory, which :meth:`memory_report`
+surfaces).  Point-mass distributions are kept exact rather than tabulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+import numpy as np
+
+from ..distributions import CdfTable, Constant, Distribution, RandomStreams
+from ..nfs import (
+    AfsLikeFileSystem,
+    FileServer,
+    LocalDiskFileSystem,
+    NetworkLink,
+    NfsClient,
+    NfsTiming,
+    SUN_NFS_TIMING,
+)
+from ..sim import Engine
+from ..vfs import FileSystemAPI, LocalFileSystem, MemoryFileSystem
+from .analyzer import UsageAnalyzer
+from .fsc import FileSystemCreator, FileSystemLayout
+from .gds import DistributionSpecifier
+from .oplog import UsageLog
+from .spec import UsageSpec, UserTypeSpec, WorkloadSpec
+from .usim import PhaseModel, RealRunner, SessionGenerator, simulated_user_process
+
+__all__ = ["WorkloadGenerator", "RunResult", "SimulationHandle", "TableSampler"]
+
+_BACKENDS = ("nfs", "local", "afs")
+
+
+class TableSampler:
+    """A CDF-table-backed sampler with a ``Distribution``-like surface.
+
+    Wraps a :class:`~repro.distributions.CdfTable` so the USIM and FSC can
+    draw variates from GDS output while code that only inspects the mean
+    keeps working.
+    """
+
+    def __init__(self, table: CdfTable, source: Distribution):
+        self.table = table
+        self.source = source
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Inverse-transform draw from the table."""
+        return self.table.sample(rng, size)
+
+    def mean(self) -> float:
+        """Mean of the tabulated distribution."""
+        return self.table.mean()
+
+    def describe(self) -> str:
+        """Summary mentioning both the table and its source."""
+        return f"table({self.table.n_points}) of {self.source.describe()}"
+
+
+@dataclass
+class SimulationHandle:
+    """Everything a simulated run is built from."""
+
+    engine: Engine
+    client: object
+    server: FileServer
+    network: NetworkLink | None
+    store: MemoryFileSystem
+    backend: str
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload run."""
+
+    spec: WorkloadSpec
+    layout: FileSystemLayout
+    log: UsageLog
+    backend: str
+    simulated_duration_us: float = 0.0
+    handle: SimulationHandle | None = None
+
+    @property
+    def analyzer(self) -> UsageAnalyzer:
+        """A fresh analyzer over this run's log and layout."""
+        return UsageAnalyzer(self.log, self.layout)
+
+
+class WorkloadGenerator:
+    """GDS → FSC → USIM, wired per Figure 4.1."""
+
+    def __init__(self, spec: WorkloadSpec, table_points: int = 257):
+        self.spec = spec
+        self.gds = DistributionSpecifier(table_points=table_points)
+        self.streams = RandomStreams(spec.seed)
+        self._register_distributions()
+        self._tabulated_types: list[UserTypeSpec] | None = None
+
+    # -- GDS wiring -------------------------------------------------------------
+
+    def _register_distributions(self) -> None:
+        for cat_spec in self.spec.file_categories:
+            self.gds.specify(
+                f"file-size:{cat_spec.category.key}",
+                cat_spec.size_distribution,
+            )
+        for user_type in self.spec.user_types:
+            prefix = f"user:{user_type.name}"
+            self.gds.specify(f"{prefix}:think-time", user_type.think_time)
+            self.gds.specify(f"{prefix}:access-size", user_type.access_size)
+            for usage in user_type.usage:
+                key = usage.category.key
+                self.gds.specify(f"{prefix}:apb:{key}", usage.access_per_byte)
+                self.gds.specify(f"{prefix}:files:{key}", usage.file_count)
+                self.gds.specify(f"{prefix}:size:{key}", usage.file_size)
+
+    def _as_sampler(self, name: str):
+        """Table-backed sampler; point masses stay exact."""
+        dist = self.gds.get(name)
+        if isinstance(dist, Constant):
+            return dist
+        return TableSampler(self.gds.table(name), dist)
+
+    def _tabulate_user_types(self) -> list[UserTypeSpec]:
+        """User types whose distributions sample from GDS CDF tables."""
+        if self._tabulated_types is None:
+            rebuilt = []
+            for user_type in self.spec.user_types:
+                prefix = f"user:{user_type.name}"
+                usage = tuple(
+                    replace(
+                        u,
+                        access_per_byte=self._as_sampler(
+                            f"{prefix}:apb:{u.category.key}"),
+                        file_count=self._as_sampler(
+                            f"{prefix}:files:{u.category.key}"),
+                        file_size=self._as_sampler(
+                            f"{prefix}:size:{u.category.key}"),
+                    )
+                    for u in user_type.usage
+                )
+                rebuilt.append(
+                    replace(
+                        user_type,
+                        usage=usage,
+                        think_time=self._as_sampler(f"{prefix}:think-time"),
+                        access_size=self._as_sampler(f"{prefix}:access-size"),
+                    )
+                )
+            self._tabulated_types = rebuilt
+        return self._tabulated_types
+
+    def memory_report(self) -> dict[str, int]:
+        """CDF-table footprint (the section 4.2 growth concern)."""
+        return self.gds.memory_report()
+
+    # -- FSC -----------------------------------------------------------------------
+
+    def create_file_system(self, fs: FileSystemAPI) -> FileSystemLayout:
+        """Run the FSC against ``fs`` using GDS file-size tables."""
+        samplers = {
+            cat_spec.category.key: self._as_sampler(
+                f"file-size:{cat_spec.category.key}")
+            for cat_spec in self.spec.file_categories
+        }
+        creator = FileSystemCreator(
+            self.spec, streams=self.streams, size_samplers=samplers
+        )
+        return creator.create(fs)
+
+    # -- USIM, simulated ---------------------------------------------------------------
+
+    def build_simulation(self, backend: str = "nfs",
+                         timing: NfsTiming | None = None) -> SimulationHandle:
+        """Construct engine + server + network + client for a backend."""
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        engine = Engine()
+        timing = timing or SUN_NFS_TIMING
+        if backend == "local":
+            client = LocalDiskFileSystem(engine, timing=timing)
+            return SimulationHandle(
+                engine=engine, client=client, server=client.server,
+                network=None, store=client.server.store, backend=backend,
+            )
+        server = FileServer(engine, timing)
+        network = NetworkLink(engine, timing.network)
+        if backend == "nfs":
+            client: object = NfsClient(engine, server, network, timing)
+        else:
+            client = AfsLikeFileSystem(engine, server, network, timing)
+        return SimulationHandle(
+            engine=engine, client=client, server=server, network=network,
+            store=server.store, backend=backend,
+        )
+
+    def run_simulated(
+        self,
+        sessions_per_user: int = 1,
+        backend: str = "nfs",
+        timing: NfsTiming | None = None,
+        access_pattern: str = "sequential",
+        phase_model_factory=None,
+        time_limit_us: float | None = None,
+    ) -> RunResult:
+        """Full simulated experiment: FSC, then all users concurrently.
+
+        The file system is created on the backend's store *before* time
+        starts (setup is not part of the measured workload, exactly as the
+        thesis separates FSC from USIM).  Every virtual user runs
+        ``sessions_per_user`` login sessions.
+        """
+        if sessions_per_user < 1:
+            raise ValueError("sessions_per_user must be >= 1")
+        handle = self.build_simulation(backend, timing)
+        layout = self.create_file_system(handle.store)
+        log = UsageLog()
+        assignment = self.spec.assign_user_types()
+        tabulated = {t.name: t for t in self._tabulate_user_types()}
+
+        processes = []
+        for user_id, user_type in enumerate(assignment):
+            generator = SessionGenerator(
+                tabulated[user_type.name],
+                layout,
+                self.streams,
+                user_id=user_id,
+                access_pattern=access_pattern,
+                phase_model=(phase_model_factory()
+                             if phase_model_factory else None),
+            )
+            processes.append(
+                handle.engine.spawn(
+                    simulated_user_process(
+                        handle.engine, handle.client, generator,
+                        sessions_per_user, log,
+                    ),
+                    name=f"user-{user_id}",
+                )
+            )
+        handle.engine.run_until_processes_finish(processes,
+                                                 limit=time_limit_us)
+        return RunResult(
+            spec=self.spec,
+            layout=layout,
+            log=log,
+            backend=backend,
+            simulated_duration_us=handle.engine.now,
+            handle=handle,
+        )
+
+    # -- USIM, real --------------------------------------------------------------------
+
+    def run_real(
+        self,
+        fs: FileSystemAPI | str,
+        sessions_per_user: int = 1,
+        sleep_thinks: bool = False,
+        access_pattern: str = "sequential",
+    ) -> RunResult:
+        """Drive a real ``FileSystemAPI`` (or a directory path) directly.
+
+        Users run one after another (a single workstation replaying
+        sessions); response times are wall-clock microseconds.
+        """
+        if sessions_per_user < 1:
+            raise ValueError("sessions_per_user must be >= 1")
+        if isinstance(fs, str):
+            fs = LocalFileSystem(fs)
+        layout = self.create_file_system(fs)
+        log = UsageLog()
+        tabulated = {t.name: t for t in self._tabulate_user_types()}
+        for user_id, user_type in enumerate(self.spec.assign_user_types()):
+            generator = SessionGenerator(
+                tabulated[user_type.name],
+                layout,
+                self.streams,
+                user_id=user_id,
+                access_pattern=access_pattern,
+            )
+            RealRunner(fs, generator, log,
+                       sleep_thinks=sleep_thinks).run_sessions(
+                sessions_per_user
+            )
+        return RunResult(
+            spec=self.spec, layout=layout, log=log, backend="real"
+        )

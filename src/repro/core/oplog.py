@@ -1,0 +1,221 @@
+"""The usage log (Figure 4.1's output artefact).
+
+Every executed system call becomes an :class:`OpRecord`; every login
+session a :class:`SessionRecord`.  The log round-trips to a line-oriented
+text format so that runs can be archived and re-analysed, and the
+:class:`~repro.core.analyzer.UsageAnalyzer` consumes it directly.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["OpRecord", "SessionRecord", "UsageLog"]
+
+_OP_FIELDS = 9
+_SESSION_FIELDS = 9
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One executed file I/O system call."""
+
+    user_id: int
+    user_type: str
+    session_id: int
+    op: str
+    path: str
+    category_key: str
+    size: int
+    start_us: float
+    response_us: float
+
+    def to_line(self) -> str:
+        """Serialise as a tab-separated line."""
+        return "\t".join(
+            (
+                "OP",
+                str(self.user_id),
+                self.user_type,
+                str(self.session_id),
+                self.op,
+                self.path,
+                self.category_key,
+                str(self.size),
+                repr(self.start_us),
+                repr(self.response_us),
+            )
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "OpRecord":
+        """Parse a line produced by :meth:`to_line`."""
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) != _OP_FIELDS + 1 or parts[0] != "OP":
+            raise ValueError(f"not an OP record: {line!r}")
+        return cls(
+            user_id=int(parts[1]),
+            user_type=parts[2],
+            session_id=int(parts[3]),
+            op=parts[4],
+            path=parts[5],
+            category_key=parts[6],
+            size=int(parts[7]),
+            start_us=float(parts[8]),
+            response_us=float(parts[9]),
+        )
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One login session's summary."""
+
+    user_id: int
+    user_type: str
+    session_id: int
+    start_us: float
+    end_us: float
+    files_referenced: int
+    bytes_accessed: int
+    file_bytes_referenced: int
+    categories: tuple[str, ...]
+
+    @property
+    def duration_us(self) -> float:
+        """Wall (or simulated) session length."""
+        return self.end_us - self.start_us
+
+    @property
+    def access_per_byte(self) -> float:
+        """Session-average access-per-byte (Figure 5.3's quantity)."""
+        if self.file_bytes_referenced <= 0:
+            return 0.0
+        return self.bytes_accessed / self.file_bytes_referenced
+
+    @property
+    def mean_file_size(self) -> float:
+        """Session-average referenced file size (Figure 5.4's quantity)."""
+        if self.files_referenced <= 0:
+            return 0.0
+        return self.file_bytes_referenced / self.files_referenced
+
+    def to_line(self) -> str:
+        """Serialise as a tab-separated line."""
+        return "\t".join(
+            (
+                "SESSION",
+                str(self.user_id),
+                self.user_type,
+                str(self.session_id),
+                repr(self.start_us),
+                repr(self.end_us),
+                str(self.files_referenced),
+                str(self.bytes_accessed),
+                str(self.file_bytes_referenced),
+                ",".join(self.categories),
+            )
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "SessionRecord":
+        """Parse a line produced by :meth:`to_line`."""
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) != _SESSION_FIELDS + 1 or parts[0] != "SESSION":
+            raise ValueError(f"not a SESSION record: {line!r}")
+        return cls(
+            user_id=int(parts[1]),
+            user_type=parts[2],
+            session_id=int(parts[3]),
+            start_us=float(parts[4]),
+            end_us=float(parts[5]),
+            files_referenced=int(parts[6]),
+            bytes_accessed=int(parts[7]),
+            file_bytes_referenced=int(parts[8]),
+            categories=tuple(c for c in parts[9].split(",") if c),
+        )
+
+
+@dataclass
+class UsageLog:
+    """The complete record of one workload run."""
+
+    operations: list[OpRecord] = field(default_factory=list)
+    sessions: list[SessionRecord] = field(default_factory=list)
+
+    def record_op(self, record: OpRecord) -> None:
+        """Append an operation record."""
+        self.operations.append(record)
+
+    def record_session(self, record: SessionRecord) -> None:
+        """Append a session summary."""
+        self.sessions.append(record)
+
+    def extend(self, other: "UsageLog") -> None:
+        """Merge another log into this one."""
+        self.operations.extend(other.operations)
+        self.sessions.extend(other.sessions)
+
+    # -- queries ---------------------------------------------------------------
+
+    def data_ops(self) -> Iterator[OpRecord]:
+        """Only the byte-moving calls (read/write)."""
+        return (op for op in self.operations if op.op in ("read", "write"))
+
+    def ops_of(self, *names: str) -> Iterator[OpRecord]:
+        """Operations filtered by syscall name."""
+        wanted = set(names)
+        return (op for op in self.operations if op.op in wanted)
+
+    def sessions_of_user(self, user_id: int) -> list[SessionRecord]:
+        """Sessions belonging to one virtual user."""
+        return [s for s in self.sessions if s.user_id == user_id]
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved by read+write calls."""
+        return sum(op.size for op in self.data_ops())
+
+    @property
+    def total_response_us(self) -> float:
+        """Summed response time across all
+
+        file-access calls (think time excluded)."""
+        return sum(op.response_us for op in self.operations)
+
+    # -- persistence -----------------------------------------------------------
+
+    def dump(self, stream: io.TextIOBase) -> None:
+        """Write the log to a text stream."""
+        for session in self.sessions:
+            stream.write(session.to_line() + "\n")
+        for op in self.operations:
+            stream.write(op.to_line() + "\n")
+
+    def dumps(self) -> str:
+        """Serialise to a string."""
+        buffer = io.StringIO()
+        self.dump(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def load(cls, stream: Iterable[str]) -> "UsageLog":
+        """Read a log from lines (inverse of :meth:`dump`)."""
+        log = cls()
+        for line in stream:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("SESSION\t"):
+                log.record_session(SessionRecord.from_line(line))
+            elif line.startswith("OP\t"):
+                log.record_op(OpRecord.from_line(line))
+            else:
+                raise ValueError(f"unrecognised log line: {line!r}")
+        return log
+
+    @classmethod
+    def loads(cls, text: str) -> "UsageLog":
+        """Parse from a string."""
+        return cls.load(io.StringIO(text))

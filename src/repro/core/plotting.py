@@ -1,0 +1,107 @@
+"""ASCII rendering of densities and histograms.
+
+The thesis's GDS displayed distributions through X11; "if the X11 window
+system is not supported, the GDS can still be used to specify
+distributions, but no graphical display will be available"
+(section 4.1.1).  We take the terminal-native route: compact Unicode
+block-character plots good enough to eyeball a fitted density or a
+smoothed histogram, with no display dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..distributions import Distribution
+
+__all__ = ["render_series", "render_pdf", "render_histogram", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character plot of ``values`` (scaled to max)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    top = float(arr.max())
+    if top <= 0:
+        return _BLOCKS[0] * arr.size
+    levels = np.clip((arr / top) * (len(_BLOCKS) - 1), 0, len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(level))] for level in levels)
+
+
+def render_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    height: int = 10,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-line ASCII plot of ``ys`` against ``xs``.
+
+    Rows are printed top-down with a simple axis; the x-range is annotated
+    underneath.  Intended for quick terminal inspection, not publication.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size == 0 or xs.size != ys.size:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    top = float(ys.max())
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if top <= 0:
+        lines.append("(all-zero series)")
+        return "\n".join(lines)
+    # Column per sample, row per level.
+    levels = np.clip((ys / top) * height, 0.0, height)
+    for row in range(height, 0, -1):
+        cells = []
+        for level in levels:
+            if level >= row:
+                cells.append("█")
+            elif level > row - 1:
+                cells.append(_BLOCKS[1 + int((level - (row - 1)) * 7)])
+            else:
+                cells.append(" ")
+        prefix = f"{top * row / height:>10.4g} |" if row in (height, 1) else "           |"
+        lines.append(prefix + "".join(cells))
+    lines.append("           +" + "-" * xs.size)
+    lines.append(
+        f"            x: [{xs[0]:.6g} .. {xs[-1]:.6g}]"
+        + (f"  ({y_label})" if y_label else "")
+    )
+    return "\n".join(lines)
+
+
+def render_pdf(
+    dist: Distribution,
+    n_points: int = 72,
+    height: int = 10,
+    title: str | None = None,
+    coverage: float = 0.995,
+) -> str:
+    """Render a distribution's density the way the GDS displayed fits."""
+    lo, hi = dist.quantile_range(coverage)
+    if hi <= lo:
+        hi = lo + 1.0
+    xs = np.linspace(lo, hi, n_points)
+    ys = np.asarray(dist.pdf(xs), dtype=float)
+    label = title if title is not None else dist.describe()
+    return render_series(xs, ys, height=height, title=label, y_label="pdf")
+
+
+def render_histogram(
+    centers: Sequence[float],
+    counts: Sequence[float],
+    height: int = 8,
+    title: str = "",
+) -> str:
+    """Render histogram counts (Figures 5.3–5.5 style)."""
+    return render_series(centers, counts, height=height, title=title,
+                         y_label="count")

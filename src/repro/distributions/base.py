@@ -1,0 +1,105 @@
+"""Distribution protocol shared by every distribution family.
+
+The thesis (section 3.1.3) requires that *all* usage measures be described by
+full distributions, not just means, and that the families be general enough
+to fit empirical data (phase-type exponential, multi-stage gamma, or raw
+PDF/CDF tables).  This module defines the small interface the rest of the
+system programs against.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Distribution", "DistributionError", "as_float_array"]
+
+
+class DistributionError(ValueError):
+    """Raised for invalid distribution parameters or unusable inputs."""
+
+
+def as_float_array(values: Sequence[float] | np.ndarray, name: str) -> np.ndarray:
+    """Validate and convert ``values`` to a 1-D float array.
+
+    Raises :class:`DistributionError` for empty input or non-finite entries,
+    which would otherwise surface much later as NaNs in sampled workloads.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    if arr.size == 0:
+        raise DistributionError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise DistributionError(f"{name} must contain only finite values")
+    return arr
+
+
+class Distribution(abc.ABC):
+    """A one-dimensional distribution over a (possibly shifted) support.
+
+    Concrete families implement ``pdf``/``cdf``/``mean``/``var`` analytically
+    where possible and ``sample`` by direct transformation.  The GDS
+    additionally tabulates any distribution into a :class:`~repro.distributions.cdf_table.CdfTable`
+    for the inverse-transform sampling path the thesis describes.
+    """
+
+    @abc.abstractmethod
+    def pdf(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Probability density evaluated at ``x`` (vectorised)."""
+
+    @abc.abstractmethod
+    def cdf(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Cumulative distribution evaluated at ``x`` (vectorised)."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected value."""
+
+    @abc.abstractmethod
+    def var(self) -> float:
+        """Variance."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw ``size`` variates (or a scalar when ``size`` is ``None``)."""
+
+    @abc.abstractmethod
+    def support(self) -> tuple[float, float]:
+        """Return ``(lo, hi)`` bounds outside which the density is zero.
+
+        ``hi`` may be ``math.inf``.  Used by the GDS to pick tabulation
+        ranges automatically.
+        """
+
+    def std(self) -> float:
+        """Standard deviation (derived from :meth:`var`)."""
+        return float(np.sqrt(self.var()))
+
+    def quantile_range(self, q: float = 0.999) -> tuple[float, float]:
+        """A finite ``[lo, hi]`` interval covering probability ``q``.
+
+        The default implementation walks the CDF with doubling steps; exact
+        families may override.  This is what the GDS uses to bound Simpson
+        integration when the support is infinite.
+        """
+        lo, hi = self.support()
+        if np.isfinite(hi):
+            return lo, hi
+        # Expand until the CDF exceeds q.
+        width = max(1.0, abs(self.mean()) + 4.0 * self.std())
+        hi = lo + width
+        for _ in range(128):
+            if float(self.cdf(hi)) >= q:
+                return lo, hi
+            hi = lo + (hi - lo) * 2.0
+        return lo, hi
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in logs and the CLI."""
+        return (
+            f"{type(self).__name__}(mean={self.mean():.6g}, "
+            f"std={self.std():.6g})"
+        )

@@ -1,0 +1,185 @@
+"""CDF tables: the GDS output consumed by the FSC and the USIM.
+
+The thesis's pipeline (Figure 4.1) is explicit: the GDS turns every
+specified distribution into a *table of CDF values*, and both the File
+System Creator and the User Simulator draw random variates from those
+tables, not from the parametric forms.  "To compute CDF values from PDF
+values, Sympson's [Simpson's] method for numerical integration is used"
+(section 4.1.1).
+
+We reproduce that design faithfully:
+
+* :func:`simpson_cdf` integrates a density on a uniform grid with composite
+  Simpson's rule (odd panels handled with a trapezoid tail).
+* :class:`CdfTable` stores ``(x, cdf)`` pairs and samples by inverse
+  transform with linear interpolation.
+* ``CdfTable.memory_bytes`` exposes the memory footprint the thesis warns
+  about in section 4.2 (#user-types x #file-types x #samples can blow up).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .base import Distribution, DistributionError, as_float_array
+
+__all__ = ["simpson_cdf", "CdfTable"]
+
+
+def simpson_cdf(
+    pdf: Callable[[np.ndarray], np.ndarray],
+    lo: float,
+    hi: float,
+    n_points: int = 257,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Integrate ``pdf`` on ``[lo, hi]`` into CDF values at ``n_points`` knots.
+
+    Composite Simpson's rule is applied cumulatively over successive pairs
+    of panels; with an even number of panels every knot value is a pure
+    Simpson result, otherwise the final panel falls back to the trapezoid
+    rule.  The result is clipped to be non-decreasing in [0, 1] and the last
+    knot is pinned to the total integral estimate (then normalised to 1).
+
+    Returns ``(xs, cdf_values)``.
+    """
+    if n_points < 3:
+        raise DistributionError("n_points must be >= 3 for Simpson's rule")
+    if not (np.isfinite(lo) and np.isfinite(hi)) or hi <= lo:
+        raise DistributionError(f"bad integration range [{lo!r}, {hi!r}]")
+    xs = np.linspace(lo, hi, n_points)
+    h = xs[1] - xs[0]
+    f = np.asarray(pdf(xs), dtype=float)
+    if f.shape != xs.shape:
+        raise DistributionError("pdf callable must be vectorised")
+    if np.any(f < -1e-12):
+        raise DistributionError("pdf returned negative density")
+    f = np.maximum(f, 0.0)
+
+    cdf = np.zeros_like(xs)
+    # Simpson over panel pairs [i, i+2].
+    pair_increments = (h / 3.0) * (f[:-2:2] + 4.0 * f[1:-1:2] + f[2::2])
+    # Midpoint estimate inside each pair via Simpson "3/8-free" split:
+    # integral over [x_i, x_{i+1}] = h/12 * (5 f_i + 8 f_{i+1} - f_{i+2}).
+    half_increments = (h / 12.0) * (5.0 * f[:-2:2] + 8.0 * f[1:-1:2] - f[2::2])
+
+    even_cum = np.concatenate([[0.0], np.cumsum(pair_increments)])
+    for k in range(len(pair_increments)):
+        cdf[2 * k + 1] = even_cum[k] + half_increments[k]
+        cdf[2 * k + 2] = even_cum[k + 1]
+    if n_points % 2 == 0:
+        # Odd number of panels: close the last one with the trapezoid rule.
+        cdf[-1] = cdf[-2] + 0.5 * h * (f[-2] + f[-1])
+
+    cdf = np.maximum.accumulate(np.clip(cdf, 0.0, None))
+    total = cdf[-1]
+    if total <= 0:
+        raise DistributionError("pdf integrates to zero over the range")
+    return xs, cdf / total
+
+
+class CdfTable:
+    """A sampled CDF with inverse-transform random variate generation.
+
+    This is the concrete artefact the GDS hands to the FSC and the USIM.
+    """
+
+    def __init__(self, xs: Sequence[float], cdf_values: Sequence[float]):
+        self.xs = as_float_array(xs, "xs")
+        self.cdf_values = as_float_array(cdf_values, "cdf_values")
+        if len(self.xs) != len(self.cdf_values):
+            raise DistributionError("xs and cdf_values must have equal length")
+        if len(self.xs) < 2:
+            raise DistributionError("a CDF table needs at least two knots")
+        if np.any(np.diff(self.xs) <= 0):
+            raise DistributionError("xs must be strictly increasing")
+        if np.any(np.diff(self.cdf_values) < 0):
+            raise DistributionError("cdf_values must be non-decreasing")
+        if abs(self.cdf_values[0]) > 1e-9 or abs(self.cdf_values[-1] - 1.0) > 1e-9:
+            raise DistributionError("cdf_values must start at 0 and end at 1")
+        self.cdf_values[0] = 0.0
+        self.cdf_values[-1] = 1.0
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_distribution(
+        cls,
+        dist: Distribution,
+        n_points: int = 257,
+        coverage: float = 0.999,
+    ) -> "CdfTable":
+        """Tabulate ``dist`` by Simpson-integrating its PDF.
+
+        ``coverage`` bounds the integration window for infinite supports
+        (the table then represents the distribution truncated to that
+        probability mass, renormalised — exactly what a finite CDF table
+        must do).
+        """
+        lo, hi = dist.quantile_range(coverage)
+        if hi <= lo:
+            hi = lo + 1.0
+        xs, cdf = simpson_cdf(lambda x: np.asarray(dist.pdf(x)), lo, hi, n_points)
+        return cls(xs, cdf)
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float], n_points: int = 257) -> "CdfTable":
+        """Build a table from observed data via the empirical CDF."""
+        data = np.sort(as_float_array(samples, "samples"))
+        lo, hi = float(data[0]), float(data[-1])
+        if hi == lo:
+            hi = lo + 1.0
+        xs = np.linspace(lo, hi, n_points)
+        cdf = np.searchsorted(data, xs, side="right") / len(data)
+        cdf[0] = 0.0
+        cdf[-1] = 1.0
+        cdf = np.maximum.accumulate(cdf)
+        return cls(xs, cdf)
+
+    # -- use ---------------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Inverse-transform sampling with linear interpolation."""
+        n = 1 if size is None else int(size)
+        u = rng.random(n)
+        draws = np.interp(u, self.cdf_values, self.xs)
+        if size is None:
+            return float(draws[0])
+        return draws
+
+    def quantile(self, q: float | np.ndarray):
+        """Inverse CDF at ``q`` (vectorised)."""
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0) | (q > 1)):
+            raise DistributionError("quantile argument must lie in [0, 1]")
+        out = np.interp(q, self.cdf_values, self.xs)
+        return out if out.ndim else float(out)
+
+    def cdf(self, x: float | np.ndarray):
+        """CDF value at ``x`` by linear interpolation."""
+        x = np.asarray(x, dtype=float)
+        out = np.interp(x, self.xs, self.cdf_values, left=0.0, right=1.0)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        """Mean of the tabulated (piecewise-linear CDF) distribution."""
+        mids = 0.5 * (self.xs[1:] + self.xs[:-1])
+        mass = np.diff(self.cdf_values)
+        return float(np.sum(mids * mass))
+
+    @property
+    def n_points(self) -> int:
+        """Number of knots in the table."""
+        return len(self.xs)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate storage footprint (the section 4.2 concern)."""
+        return int(self.xs.nbytes + self.cdf_values.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"CdfTable(n_points={self.n_points}, "
+            f"range=[{self.xs[0]:.6g}, {self.xs[-1]:.6g}])"
+        )

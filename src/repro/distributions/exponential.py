@@ -1,0 +1,181 @@
+"""Shifted and phase-type exponential distributions.
+
+The thesis defines (section 5.1) the phase-type exponential density
+
+    f(x) = sum_i w_i * exp(theta_i, x - s_i)
+
+where ``exp(theta, y) = (1/theta) * e^(-y/theta)`` for ``0 <= y < inf``,
+the ``w_i`` sum to one, and ``s_i`` are per-phase offsets.  Note the thesis
+parameterises each phase by its *mean* ``theta`` (scale), not its rate: the
+Figure 5.1 captions such as ``f(x) = exp(22.1, x)`` denote an exponential
+with mean 22.1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Distribution, DistributionError, as_float_array
+
+__all__ = ["ShiftedExponential", "PhaseTypeExponential"]
+
+
+class ShiftedExponential(Distribution):
+    """An exponential with mean ``scale`` shifted right by ``offset``.
+
+    This is a single phase of the thesis's phase-type family: density
+    ``(1/scale) * exp(-(x - offset)/scale)`` for ``x >= offset``.
+    """
+
+    def __init__(self, scale: float, offset: float = 0.0):
+        if not np.isfinite(scale) or scale <= 0:
+            raise DistributionError(f"scale must be positive, got {scale!r}")
+        if not np.isfinite(offset):
+            raise DistributionError(f"offset must be finite, got {offset!r}")
+        self.scale = float(scale)
+        self.offset = float(offset)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        y = x - self.offset
+        # Clamp before exponentiating so the masked-out branch cannot
+        # overflow (np.where still evaluates both sides).
+        safe = np.maximum(y, 0.0)
+        out = np.where(y >= 0.0, np.exp(-safe / self.scale) / self.scale, 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        y = x - self.offset
+        safe = np.maximum(y, 0.0)
+        out = np.where(y >= 0.0, 1.0 - np.exp(-safe / self.scale), 0.0)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return self.offset + self.scale
+
+    def var(self) -> float:
+        return self.scale**2
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        draws = rng.exponential(self.scale, size=size)
+        return draws + self.offset
+
+    def support(self) -> tuple[float, float]:
+        return self.offset, np.inf
+
+    def __repr__(self) -> str:
+        return f"ShiftedExponential(scale={self.scale!r}, offset={self.offset!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ShiftedExponential)
+            and self.scale == other.scale
+            and self.offset == other.offset
+        )
+
+    def __hash__(self) -> int:
+        return hash((ShiftedExponential, self.scale, self.offset))
+
+
+class PhaseTypeExponential(Distribution):
+    """Mixture of shifted exponentials — the thesis's phase-type family.
+
+    Parameters
+    ----------
+    weights:
+        Mixture weights ``w_i``; must be positive and sum to one (a small
+        tolerance is accepted and renormalised).
+    scales:
+        Per-phase means ``theta_i`` (the thesis's first argument to
+        ``exp(theta, y)``).
+    offsets:
+        Per-phase shifts ``s_i``.  Defaults to all zeros.
+
+    Example (third panel of Figure 5.1)::
+
+        PhaseTypeExponential(
+            weights=[0.4, 0.3, 0.3],
+            scales=[12.7, 18.2, 24.5],
+            offsets=[0.0, 18.0, 41.0],
+        )
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        scales: Sequence[float],
+        offsets: Sequence[float] | None = None,
+    ):
+        self.weights = as_float_array(weights, "weights")
+        self.scales = as_float_array(scales, "scales")
+        if offsets is None:
+            offsets = np.zeros_like(self.scales)
+        self.offsets = as_float_array(offsets, "offsets")
+        if not (len(self.weights) == len(self.scales) == len(self.offsets)):
+            raise DistributionError(
+                "weights, scales and offsets must have equal length; got "
+                f"{len(self.weights)}, {len(self.scales)}, {len(self.offsets)}"
+            )
+        if np.any(self.weights <= 0):
+            raise DistributionError("weights must be strictly positive")
+        if np.any(self.scales <= 0):
+            raise DistributionError("scales must be strictly positive")
+        total = float(self.weights.sum())
+        if abs(total - 1.0) > 1e-6:
+            raise DistributionError(
+                f"weights must sum to 1 (within 1e-6), got {total!r}"
+            )
+        self.weights = self.weights / total
+        self._phases = [
+            ShiftedExponential(s, o) for s, o in zip(self.scales, self.offsets)
+        ]
+
+    @property
+    def n_phases(self) -> int:
+        """Number of mixture phases ``N``."""
+        return len(self._phases)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x, dtype=float)
+        for w, phase in zip(self.weights, self._phases):
+            out = out + w * phase.pdf(x)
+        return out if out.ndim else float(out)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x, dtype=float)
+        for w, phase in zip(self.weights, self._phases):
+            out = out + w * phase.cdf(x)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return float(np.sum(self.weights * (self.offsets + self.scales)))
+
+    def var(self) -> float:
+        # Var = E[X^2] - E[X]^2 with per-phase second moments.
+        second = self.scales**2 * 2 + 2 * self.offsets * self.scales + self.offsets**2
+        ex2 = float(np.sum(self.weights * second))
+        return ex2 - self.mean() ** 2
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        n = 1 if size is None else int(size)
+        phase_idx = rng.choice(self.n_phases, size=n, p=self.weights)
+        draws = rng.exponential(self.scales[phase_idx]) + self.offsets[phase_idx]
+        if size is None:
+            return float(draws[0])
+        return draws
+
+    def support(self) -> tuple[float, float]:
+        return float(self.offsets.min()), np.inf
+
+    def __repr__(self) -> str:
+        return (
+            "PhaseTypeExponential("
+            f"weights={self.weights.tolist()!r}, "
+            f"scales={self.scales.tolist()!r}, "
+            f"offsets={self.offsets.tolist()!r})"
+        )

@@ -1,0 +1,133 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* :func:`ablation_write_policy` — write-behind (our calibrated default)
+  vs strict NFSv2 write-through.
+* :func:`ablation_server_cache` — server buffer-cache size sweep; shows
+  why steady-state reads are network-bound, not disk-bound.
+* :func:`ablation_cdf_table_points` — the section 4.2 accuracy/memory
+  trade-off of the GDS's CDF tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..core import WorkloadGenerator, paper_workload_spec
+from ..distributions import CdfTable, PhaseTypeExponential, ks_distance
+from ..nfs import SUN_NFS_TIMING, ServerParameters
+from .figures import TableResult
+
+__all__ = [
+    "ablation_write_policy",
+    "ablation_server_cache",
+    "ablation_cdf_table_points",
+]
+
+
+def _run_with_server(server_params: ServerParameters, n_users: int,
+                     sessions_total: int, total_files: int, seed: int):
+    timing = replace(SUN_NFS_TIMING, server=server_params)
+    spec = paper_workload_spec(n_users=n_users, total_files=total_files,
+                               seed=seed)
+    return WorkloadGenerator(spec).run_simulated(
+        sessions_per_user=max(1, round(sessions_total / n_users)),
+        timing=timing,
+    )
+
+
+def ablation_write_policy(n_users: int = 3, sessions_total: int = 30,
+                          total_files: int = 300, seed: int = 0) -> TableResult:
+    """Write-behind vs write-through under the same workload."""
+    rows = []
+    for policy in ("write-behind", "write-through"):
+        result = _run_with_server(
+            ServerParameters(write_policy=policy),
+            n_users, sessions_total, total_files, seed,
+        )
+        analyzer = result.analyzer
+        resp = analyzer.response_time_stats()
+        write_resp = analyzer.response_time_stats(ops=("write",))
+        rows.append(
+            [
+                policy,
+                resp.mean,
+                resp.sample_std,
+                write_resp.mean,
+                analyzer.response_per_byte(),
+                result.handle.server.disk.total_accesses,
+            ]
+        )
+    return TableResult(
+        ident="Ablation A1",
+        title="Server write policy (write-behind default vs strict NFSv2)",
+        headers=["policy", "resp mean (µs)", "resp std", "write mean (µs)",
+                 "µs/byte", "disk accesses"],
+        rows=rows,
+    )
+
+
+def ablation_server_cache(n_users: int = 3, sessions_total: int = 30,
+                          total_files: int = 300, seed: int = 0,
+                          cache_sizes: tuple[int, ...] = (0, 64, 1024),
+                          ) -> TableResult:
+    """Server buffer-cache size sweep (0 disables caching entirely)."""
+    rows = []
+    for blocks in cache_sizes:
+        result = _run_with_server(
+            ServerParameters(cache_blocks=blocks),
+            n_users, sessions_total, total_files, seed,
+        )
+        analyzer = result.analyzer
+        read_resp = analyzer.response_time_stats(ops=("read",))
+        cache = result.handle.server.cache
+        rows.append(
+            [
+                blocks,
+                cache.hit_ratio,
+                read_resp.mean,
+                analyzer.response_per_byte(),
+                result.handle.server.disk.total_accesses,
+            ]
+        )
+    return TableResult(
+        ident="Ablation A2",
+        title="Server buffer-cache size",
+        headers=["cache blocks", "hit ratio", "read mean (µs)",
+                 "µs/byte", "disk accesses"],
+        rows=rows,
+    )
+
+
+def ablation_cdf_table_points(
+    points: tuple[int, ...] = (17, 65, 257, 1025),
+    n_samples: int = 20_000,
+    seed: int = 0,
+) -> TableResult:
+    """CDF-table resolution vs sampling fidelity vs memory (section 4.2).
+
+    Fidelity is the KS distance between ``n_samples`` inverse-transform
+    draws from the table and the analytic source distribution.
+    """
+    source = PhaseTypeExponential([0.6, 0.4], [800.0, 2500.0], [0.0, 1500.0])
+    rng = np.random.default_rng(seed)
+    rows = []
+    for n_points in points:
+        table = CdfTable.from_distribution(source, n_points=n_points)
+        draws = table.sample(rng, size=n_samples)
+        rows.append(
+            [
+                n_points,
+                ks_distance(draws, source),
+                abs(table.mean() - source.mean()) / source.mean(),
+                table.memory_bytes,
+            ]
+        )
+    return TableResult(
+        ident="Ablation A3",
+        title="CDF-table sample count: accuracy vs memory (§4.2 trade-off)",
+        headers=["table points", "KS vs analytic", "rel. mean error",
+                 "memory (bytes)"],
+        rows=rows,
+    )

@@ -1,0 +1,105 @@
+"""The section 5.3 file-system comparison procedure, scripted.
+
+The thesis outlines a six-step method: characterise the environment, feed
+the distributions to the GDS, build the file system with the FSC, run the
+USIM against each candidate file system under the *same* workload, and
+compare.  :func:`compare_file_systems` executes steps 2–6 over our three
+simulated candidates (NFS, local disk, AFS-like).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import WorkloadGenerator, paper_workload_spec
+from ..nfs import NfsTiming
+from .report import format_table
+
+__all__ = ["FileSystemComparison", "CandidateResult", "compare_file_systems"]
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """Measurements for one candidate file system."""
+
+    backend: str
+    response_mean_us: float
+    response_std_us: float
+    response_per_byte_us: float
+    simulated_duration_us: float
+
+
+@dataclass
+class FileSystemComparison:
+    """Outcome of the section 5.3 procedure."""
+
+    n_users: int
+    sessions_total: int
+    candidates: list[CandidateResult]
+
+    @property
+    def best_backend(self) -> str:
+        """Candidate with the lowest per-byte response time."""
+        return min(self.candidates,
+                   key=lambda c: c.response_per_byte_us).backend
+
+    def formatted(self) -> str:
+        """ASCII table of the comparison."""
+        rows = [
+            [c.backend, c.response_mean_us, c.response_std_us,
+             c.response_per_byte_us, c.simulated_duration_us / 1e6]
+            for c in self.candidates
+        ]
+        return format_table(
+            ["file system", "resp mean (µs)", "resp std (µs)",
+             "µs/byte", "makespan (s)"],
+            rows,
+            title=(f"Section 5.3 comparison — {self.n_users} users, "
+                   f"~{self.sessions_total} sessions "
+                   f"(best: {self.best_backend})"),
+        )
+
+
+def compare_file_systems(
+    n_users: int = 4,
+    sessions_total: int = 40,
+    total_files: int = 300,
+    seed: int = 0,
+    heavy_fraction: float = 1.0,
+    backends: tuple[str, ...] = ("nfs", "local", "afs"),
+    timing: NfsTiming | None = None,
+) -> FileSystemComparison:
+    """Run the identical workload against each candidate backend.
+
+    The same seed means the operation streams are identical call for
+    call — only the file-system timing differs, exactly the controlled
+    comparison the thesis's procedure prescribes.
+    """
+    sessions_per_user = max(1, round(sessions_total / n_users))
+    candidates: list[CandidateResult] = []
+    for backend in backends:
+        spec = paper_workload_spec(
+            n_users=n_users, total_files=total_files, seed=seed,
+            heavy_fraction=heavy_fraction,
+        )
+        result = WorkloadGenerator(spec).run_simulated(
+            sessions_per_user=sessions_per_user,
+            backend=backend,
+            timing=timing,
+        )
+        analyzer = result.analyzer
+        resp = analyzer.response_time_stats()
+        candidates.append(
+            CandidateResult(
+                backend=backend,
+                response_mean_us=resp.mean,
+                response_std_us=resp.sample_std,
+                response_per_byte_us=analyzer.response_per_byte(),
+                simulated_duration_us=result.simulated_duration_us,
+            )
+        )
+    return FileSystemComparison(
+        n_users=n_users,
+        sessions_total=sessions_total,
+        candidates=candidates,
+    )

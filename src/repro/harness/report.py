@@ -1,0 +1,57 @@
+"""ASCII table and series formatting for experiment reports.
+
+The benchmark harness prints each reproduced table/figure in the same
+row/series form the paper reports, so EXPERIMENTS.md can be assembled by
+pasting harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table with a separator under the header."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(xs: Sequence, ys: Sequence, x_label: str, y_label: str,
+                  title: str = "") -> str:
+    """Two-column series (the data behind a paper figure)."""
+    return format_table([x_label, y_label], list(zip(xs, ys)), title=title)
+
+
+def format_kv(pairs: dict, title: str = "") -> str:
+    """Key/value block for scalar summaries."""
+    lines = [title] if title else []
+    width = max((len(str(k)) for k in pairs), default=0)
+    for key, value in pairs.items():
+        lines.append(f"{str(key).ljust(width)} : {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,49 @@
+"""Simulated distributed-file-system substrate.
+
+Substitutes for the thesis's physical SUN NFS testbed: a shared network,
+a file server (CPU + buffer cache + disk) over an in-memory store, and
+three client personalities — NFS (paged RPCs, write-through), local disk
+(no network, delayed writes) and AFS-like (whole-file caching).
+"""
+
+from .afs import AfsLikeFileSystem
+from .cache import BlockCache, WholeFileCache
+from .client import NfsClient
+from .client_base import ClientOpenFile, SimulatedClientBase
+from .disk import Disk
+from .localdisk import LocalDiskFileSystem
+from .network import NetworkLink
+from .server import FileServer
+from .timing import (
+    AFS_LIKE_TIMING,
+    STRICT_NFSV2_TIMING,
+    LOCAL_DISK_TIMING,
+    SUN_NFS_TIMING,
+    ClientParameters,
+    DiskParameters,
+    NetworkParameters,
+    NfsTiming,
+    ServerParameters,
+)
+
+__all__ = [
+    "AfsLikeFileSystem",
+    "BlockCache",
+    "WholeFileCache",
+    "NfsClient",
+    "ClientOpenFile",
+    "SimulatedClientBase",
+    "Disk",
+    "LocalDiskFileSystem",
+    "NetworkLink",
+    "FileServer",
+    "AFS_LIKE_TIMING",
+    "STRICT_NFSV2_TIMING",
+    "LOCAL_DISK_TIMING",
+    "SUN_NFS_TIMING",
+    "ClientParameters",
+    "DiskParameters",
+    "NetworkParameters",
+    "NfsTiming",
+    "ServerParameters",
+]

@@ -1,0 +1,158 @@
+"""AFS-like file system: whole-file caching with write-back on close.
+
+Modelled on the Andrew File System semantics described by Howard et al.
+(the comparison target in the thesis's related work): ``open`` fetches the
+entire file into a local cache if the cached copy is stale, reads and
+writes are then purely local, and ``close`` ships the whole file back when
+it was modified.  Small random touches of big files are expensive; heavy
+re-reading of a working set is nearly free — a usefully different
+trade-off for the section 5.3 comparison procedure.
+"""
+
+from __future__ import annotations
+
+from ..sim import Delay, Engine
+from ..vfs import InvalidArgumentError, NoSuchFileError, OpenFlags, Stat
+from .cache import WholeFileCache
+from .client_base import ClientOpenFile, SimulatedClientBase
+from .network import NetworkLink
+from .server import FileServer
+from .timing import AFS_LIKE_TIMING, NfsTiming
+
+__all__ = ["AfsLikeFileSystem"]
+
+_LOCAL_COPY_US_PER_BYTE = 0.002  # memcpy-speed local cache access
+
+
+class AfsLikeFileSystem(SimulatedClientBase):
+    """Whole-file-caching client over the shared network."""
+
+    def __init__(self, engine: Engine, server: FileServer,
+                 network: NetworkLink, timing: NfsTiming | None = None,
+                 name: str = "afs-client"):
+        timing = timing or AFS_LIKE_TIMING
+        super().__init__(engine, timing, name=name)
+        self.server = server
+        self.network = network
+        self.cache = WholeFileCache(timing.client.whole_file_cache_bytes)
+        self._dirty: set[str] = set()
+        self.whole_file_fetches = 0
+        self.whole_file_stores = 0
+
+    # -- RPC plumbing ---------------------------------------------------------
+
+    def _rpc(self, procedure, request_payload: int = 0, reply_payload: int = 0):
+        params = self.timing.network
+        yield from self.network.transfer(
+            params.rpc_request_bytes + request_payload
+        )
+        result = yield from procedure
+        yield from self.network.transfer(params.rpc_reply_bytes + reply_payload)
+        return result
+
+    # -- whole-file transfer on open/close ----------------------------------------
+
+    def _on_open(self, path: str, stat: Stat):
+        """Validate the cache; fetch the whole file on a miss."""
+        if self.cache.lookup(path, stat.mtime):
+            return
+        # Bulk fetch: one request, data streamed back in the reply.
+        yield from self._rpc(
+            self.server.read(path, 0, stat.size), reply_payload=stat.size
+        )
+        self.cache.insert(path, stat.mtime, stat.size)
+        self.whole_file_fetches += 1
+
+    def _on_close(self, open_file: ClientOpenFile):
+        """Write-back: ship the whole file to the server when dirty."""
+        path = open_file.path
+        if path not in self._dirty:
+            return
+        self._dirty.discard(path)
+        stat = self.server.stat_nowait(path)
+        yield from self._rpc(
+            self.server.write(path, 0, self.server.store.read_at(
+                path, 0, stat.size)),
+            request_payload=stat.size,
+        )
+        new_stat = self.server.stat_nowait(path)
+        self.cache.update_version(path, new_stat.mtime, new_stat.size)
+        self.whole_file_stores += 1
+
+    # -- timed primitives ------------------------------------------------------------
+
+    def _remote_getattr(self, path: str):
+        return (yield from self._rpc(self.server.getattr(path)))
+
+    def _remote_create(self, path: str):
+        stat = yield from self._rpc(self.server.create(path))
+        self.cache.insert(path, stat.mtime, 0)
+        return stat
+
+    def _remote_truncate(self, path: str, size: int):
+        result = yield from self._rpc(self.server.truncate(path, size))
+        stat = self.server.stat_nowait(path)
+        self.cache.update_version(path, stat.mtime, stat.size)
+        return result
+
+    def _timed_read(self, path: str, offset: int, size: int):
+        """Local cache read: memcpy-speed, no network."""
+        data = self.server.store.read_at(path, offset, size)
+        cost = _LOCAL_COPY_US_PER_BYTE * len(data)
+        if cost > 0:
+            yield Delay(cost)
+        return data
+
+    def _timed_write(self, path: str, offset: int, data: bytes):
+        """Local cache write; the server sees it at close time.
+
+        Data correctness is kept by writing through to the authoritative
+        store immediately (the experiments have a single client machine),
+        while the *cost* of shipping it is deferred to ``_on_close``.
+        """
+        count = self.server.store.write_at(path, offset, data)
+        self._dirty.add(path)
+        cost = _LOCAL_COPY_US_PER_BYTE * count
+        if cost > 0:
+            yield Delay(cost)
+        return count
+
+    # -- namespace calls ----------------------------------------------------------------
+
+    def unlink(self, path: str):
+        """Timed ``unlink(2)`` → REMOVE RPC plus local cache eviction."""
+        yield from self._syscall()
+        yield from self._rpc(self.server.remove(path))
+        self.cache.evict(path)
+        self._dirty.discard(path)
+
+    def mkdir(self, path: str):
+        """Timed ``mkdir(2)``."""
+        yield from self._syscall()
+        yield from self._rpc(self.server.mkdir(path))
+
+    def rmdir(self, path: str):
+        """Timed ``rmdir(2)``."""
+        yield from self._syscall()
+        yield from self._rpc(self.server.rmdir(path))
+
+    def listdir(self, path: str):
+        """Timed directory scan."""
+        yield from self._syscall()
+        entries = yield from self._rpc(self.server.readdir(path))
+        yield from self.network.transfer(32 * len(entries))
+        return entries
+
+    def rename(self, old: str, new: str):
+        """Timed ``rename(2)``."""
+        yield from self._syscall()
+        yield from self._rpc(self.server.rename(old, new))
+        self.cache.evict(old)
+        self.cache.evict(new)
+
+    def truncate(self, path: str, size: int):
+        """Timed ``truncate(2)``."""
+        if size < 0:
+            raise InvalidArgumentError(f"negative truncate size {size}")
+        yield from self._syscall()
+        yield from self._remote_truncate(path, size)

@@ -1,0 +1,130 @@
+"""Caches for the simulated file systems.
+
+* :class:`BlockCache` — the server's buffer cache (LRU over fixed-size
+  blocks).  A read that hits skips the disk entirely; this is the main
+  reason one user's steady-state response times are network-bound.
+* :class:`WholeFileCache` — AFS-style client cache: entire files keyed by
+  path, validated by version stamps, evicted LRU by byte budget.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["BlockCache", "WholeFileCache"]
+
+
+class BlockCache:
+    """LRU cache of ``(path, block_number)`` keys.
+
+    Only presence is tracked — the authoritative bytes live in the server's
+    backing store; the cache determines whether the disk must be touched.
+    """
+
+    def __init__(self, capacity_blocks: int):
+        if capacity_blocks < 0:
+            raise ValueError(f"negative capacity {capacity_blocks}")
+        self.capacity_blocks = capacity_blocks
+        self._entries: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, path: str, block: int) -> bool:
+        """True (and refresh recency) when the block is resident."""
+        key = (path, block)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, path: str, block: int) -> None:
+        """Make a block resident, evicting the LRU entry when full."""
+        if self.capacity_blocks == 0:
+            return
+        key = (path, block)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        while len(self._entries) >= self.capacity_blocks:
+            self._entries.popitem(last=False)
+        self._entries[key] = None
+
+    def invalidate_file(self, path: str) -> None:
+        """Drop every block of ``path`` (unlink/truncate/rename)."""
+        stale = [key for key in self._entries if key[0] == path]
+        for key in stale:
+            del self._entries[key]
+
+    @property
+    def resident_blocks(self) -> int:
+        """Blocks currently cached."""
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that hit (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class WholeFileCache:
+    """AFS-style cache of whole files with version validation."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 0:
+            raise ValueError(f"negative capacity {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        # path -> (version, size)
+        self._entries: OrderedDict[str, tuple[float, int]] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, path: str, version: float) -> bool:
+        """True when ``path`` is cached at exactly ``version``."""
+        entry = self._entries.get(path)
+        if entry is not None and entry[0] == version:
+            self._entries.move_to_end(path)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, path: str, version: float, size: int) -> None:
+        """Cache a file, evicting LRU entries to fit the byte budget."""
+        if size > self.capacity_bytes:
+            return  # larger than the whole cache: bypass
+        self.evict(path)
+        while self._bytes + size > self.capacity_bytes and self._entries:
+            _, (_, old_size) = self._entries.popitem(last=False)
+            self._bytes -= old_size
+        self._entries[path] = (version, size)
+        self._bytes += size
+
+    def evict(self, path: str) -> None:
+        """Remove ``path`` if cached."""
+        entry = self._entries.pop(path, None)
+        if entry is not None:
+            self._bytes -= entry[1]
+
+    def update_version(self, path: str, version: float, size: int) -> None:
+        """Refresh the stamp after the client itself wrote the file back."""
+        if path in self._entries:
+            self._bytes -= self._entries[path][1]
+            self._entries[path] = (version, size)
+            self._bytes += size
+        else:
+            self.insert(path, version, size)
+
+    @property
+    def bytes_used(self) -> int:
+        """Total cached file bytes."""
+        return self._bytes
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that validated (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,60 @@
+"""Shared-medium network model.
+
+The thesis's testbed put every client on one 10 Mbit Ethernet segment, so
+the wire itself is a contended resource: while one message's payload is
+being clocked out, everyone else waits.  Propagation and protocol latency,
+by contrast, overlap freely and are modelled as plain delays.
+
+``transfer`` is a simulation sub-process; callers compose it with
+``yield from``.
+"""
+
+from __future__ import annotations
+
+from ..sim import Acquire, Delay, Engine, Release, Resource
+from .timing import NetworkParameters
+
+__all__ = ["NetworkLink"]
+
+
+class NetworkLink:
+    """A half-duplex shared link (classic Ethernet segment)."""
+
+    def __init__(self, engine: Engine, params: NetworkParameters,
+                 name: str = "ethernet"):
+        self.engine = engine
+        self.params = params
+        self._medium = Resource(engine, capacity=1, name=name)
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def transfer(self, payload_bytes: int):
+        """Simulate one message of ``payload_bytes`` crossing the link.
+
+        The shared medium is held for the whole message time — protocol
+        overhead (preamble, headers, interframe gaps, collisions-and-
+        retries averaged into ``latency_us``) plus payload serialisation —
+        because on a CSMA/CD segment nothing else can transmit meanwhile.
+        This makes the wire the system's principal bottleneck, which is
+        what produces the near-linear response growth of Figure 5.6.
+        """
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload {payload_bytes}")
+        hold = (
+            self.params.latency_us
+            + payload_bytes / self.params.bandwidth_bytes_per_us
+        )
+        if hold > 0:
+            yield Acquire(self._medium)
+            yield Delay(hold)
+            yield Release(self._medium)
+        self.messages_sent += 1
+        self.bytes_sent += payload_bytes
+
+    def utilization(self) -> float:
+        """Time-average busy fraction of the medium."""
+        return self._medium.utilization()
+
+    def mean_queue_length(self) -> float:
+        """Time-average number of messages waiting for the medium."""
+        return self._medium.mean_queue_length()

@@ -1,0 +1,188 @@
+"""Simulated file server.
+
+Plays the SUN 4/490 of the thesis's testbed: a CPU cost model, a buffer
+cache, and one disk, in front of an authoritative in-memory store
+(:class:`repro.vfs.MemoryFileSystem`).  Each RPC handler is a simulation
+sub-process: it pays CPU time on the server's (contended) processor, then
+touches the disk for cache misses and — under write-through semantics —
+for every write.
+
+Handlers perform the store operation *between* resource holds, so a
+failing operation (ENOENT and friends) propagates to the client without
+leaking a held resource.
+"""
+
+from __future__ import annotations
+
+from ..sim import Acquire, Delay, Engine, Release, Resource
+from ..vfs import MemoryFileSystem, NoSuchFileError, Stat
+from .cache import BlockCache
+from .disk import Disk
+from .timing import NfsTiming
+
+__all__ = ["FileServer"]
+
+_META_BYTES = 512  # directory/inode update written synchronously
+
+
+class FileServer:
+    """CPU + cache + disk in front of a ``MemoryFileSystem`` store."""
+
+    def __init__(self, engine: Engine, timing: NfsTiming,
+                 store: MemoryFileSystem | None = None, name: str = "server"):
+        policy = timing.server.write_policy
+        if policy not in ("write-through", "write-behind"):
+            raise ValueError(f"unknown write policy {policy!r}")
+        self.engine = engine
+        self.timing = timing
+        self.store = store if store is not None else MemoryFileSystem()
+        self.cpu = Resource(engine, capacity=1, name=f"{name}-cpu")
+        self.disk = Disk(engine, timing.disk, name=f"{name}-disk")
+        self.cache = BlockCache(timing.server.cache_blocks)
+        self.rpc_count = 0
+        self._dirty_bytes = 0
+        self._flush_offset = 0
+        self.flush_count = 0
+
+    # -- cost helpers ---------------------------------------------------------
+
+    def _cpu(self, payload_bytes: int = 0):
+        """Pay per-op plus per-byte CPU cost on the contended processor."""
+        cost = (
+            self.timing.server.cpu_per_op_us
+            + self.timing.server.cpu_per_byte_us * payload_bytes
+        )
+        yield Acquire(self.cpu)
+        if cost > 0:
+            yield Delay(cost)
+        yield Release(self.cpu)
+        self.rpc_count += 1
+
+    def _block_range(self, offset: int, size: int) -> range:
+        block = self.timing.disk.block_bytes
+        first = offset // block
+        last = (offset + max(size, 1) - 1) // block
+        return range(first, last + 1)
+
+    def _read_blocks(self, path: str, offset: int, size: int):
+        """Fetch any non-resident blocks of the byte range from disk."""
+        block = self.timing.disk.block_bytes
+        for block_no in self._block_range(offset, size):
+            if not self.cache.lookup(path, block_no):
+                yield from self.disk.access(path, block_no * block, block)
+                self.cache.insert(path, block_no)
+
+    def _commit(self, nbytes: int, path: str, offset: int):
+        """Make ``nbytes`` of new data durable per the write policy.
+
+        Write-through goes straight to disk at the data's location.
+        Write-behind accumulates dirty bytes in the buffer cache and, at
+        the high-water mark, stalls the triggering request for one batched
+        sequential flush — the bursty multi-millisecond events behind the
+        paper's large response-time standard deviations.
+        """
+        if self.timing.server.write_policy == "write-through":
+            yield from self.disk.access(path, offset, nbytes)
+            return
+        self._dirty_bytes += nbytes
+        if self._dirty_bytes >= self.timing.server.flush_threshold_bytes:
+            batch = self._dirty_bytes
+            self._dirty_bytes = 0
+            self.flush_count += 1
+            yield from self.disk.access("\x00flush-log", self._flush_offset,
+                                        batch)
+            self._flush_offset += batch
+
+    def _write_meta(self, path: str):
+        """Metadata update (create/remove/rename/...) per the write policy."""
+        yield from self._commit(_META_BYTES, f"{path}\x00meta", 0)
+
+    # -- RPC procedures ---------------------------------------------------------
+    # Every procedure is a generator; callers compose with ``yield from``.
+
+    def getattr(self, path: str):
+        """GETATTR: metadata lookup (CPU only — attributes are cached)."""
+        yield from self._cpu()
+        return self.store.stat(path)
+
+    def lookup(self, path: str):
+        """LOOKUP: resolve a path; same cost surface as GETATTR here."""
+        yield from self._cpu()
+        return self.store.stat(path)
+
+    def create(self, path: str):
+        """CREATE: make (or truncate) a regular file."""
+        yield from self._cpu()
+        fd = self.store.creat(path)
+        self.store.close(fd)
+        self.cache.invalidate_file(path)
+        yield from self._write_meta(path)
+        return self.store.stat(path)
+
+    def read(self, path: str, offset: int, size: int):
+        """READ: return file bytes, paying disk for cache misses."""
+        yield from self._cpu(size)
+        data = self.store.read_at(path, offset, size)
+        yield from self._read_blocks(path, offset, max(len(data), 1))
+        return data
+
+    def write(self, path: str, offset: int, data: bytes):
+        """WRITE: store bytes; durability cost per the write policy."""
+        yield from self._cpu(len(data))
+        count = self.store.write_at(path, offset, data)
+        block = self.timing.disk.block_bytes
+        for block_no in self._block_range(offset, count):
+            self.cache.insert(path, block_no)
+        yield from self._commit(count, path, offset)
+        return count
+
+    def remove(self, path: str):
+        """REMOVE: unlink a file."""
+        yield from self._cpu()
+        self.store.unlink(path)
+        self.cache.invalidate_file(path)
+        yield from self._write_meta(path)
+
+    def mkdir(self, path: str):
+        """MKDIR."""
+        yield from self._cpu()
+        self.store.mkdir(path)
+        yield from self._write_meta(path)
+
+    def rmdir(self, path: str):
+        """RMDIR."""
+        yield from self._cpu()
+        self.store.rmdir(path)
+        yield from self._write_meta(path)
+
+    def readdir(self, path: str):
+        """READDIR: list entries (directory blocks assumed cached)."""
+        yield from self._cpu()
+        return self.store.listdir(path)
+
+    def rename(self, old: str, new: str):
+        """RENAME."""
+        yield from self._cpu()
+        self.store.rename(old, new)
+        self.cache.invalidate_file(old)
+        self.cache.invalidate_file(new)
+        yield from self._write_meta(new)
+
+    def truncate(self, path: str, size: int):
+        """SETATTR(size)."""
+        yield from self._cpu()
+        self.store.truncate(path, size)
+        self.cache.invalidate_file(path)
+        yield from self._write_meta(path)
+
+    def exists(self, path: str):
+        """Existence probe built on GETATTR."""
+        try:
+            yield from self.getattr(path)
+            return True
+        except NoSuchFileError:
+            return False
+
+    def stat_nowait(self, path: str) -> Stat:
+        """Untimed metadata peek for internal bookkeeping (no RPC cost)."""
+        return self.store.stat(path)

@@ -1,0 +1,140 @@
+"""Timing parameter sets for the simulated file systems.
+
+These parameters play the role of the thesis's physical testbed (a SUN
+3/50 diskless-style client against a SUN 4/490 server over 10 Mbit
+Ethernet running SUN NFS).  They were calibrated so the *shapes* of the
+paper's results hold:
+
+* one heavy-I/O user sees a per-call mean around 1.3 ms with a large
+  standard deviation (Table 5.3) — network round trip plus occasional
+  disk positioning events;
+* zero-think-time users drive the shared resources to saturation, so
+  response time grows near-linearly with the number of users (Figure 5.6);
+* think times of 5 000 µs vs 20 000 µs leave the system far from
+  saturation, so their response curves nearly coincide (Figures 5.7–5.11);
+* per-byte cost falls steeply with access size because per-call overheads
+  are fixed (Figure 5.12).
+
+All times are microseconds, matching the paper's units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "NetworkParameters",
+    "DiskParameters",
+    "ServerParameters",
+    "ClientParameters",
+    "NfsTiming",
+    "SUN_NFS_TIMING",
+    "LOCAL_DISK_TIMING",
+    "AFS_LIKE_TIMING",
+    "STRICT_NFSV2_TIMING",
+]
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Shared-medium network model (10 Mbit Ethernet-style)."""
+
+    latency_us: float = 150.0
+    """Per-message protocol overhead (preamble, headers, interframe gaps,
+    averaged collision retries).  Occupies the shared medium."""
+
+    bandwidth_bytes_per_us: float = 1.25
+    """Payload throughput while holding the shared medium (10 Mbit/s)."""
+
+    rpc_request_bytes: int = 128
+    """RPC header + arguments for a request carrying no bulk data."""
+
+    rpc_reply_bytes: int = 112
+    """RPC header for a reply carrying no bulk data."""
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Server disk model with positional locality.
+
+    An access that continues where the previous one left off (same file,
+    next byte) skips the positioning delay — sequential file I/O therefore
+    pays mostly transfer time, while switching files pays a seek.
+    """
+
+    positioning_us: float = 12_000.0
+    """Average seek + rotational latency for a non-contiguous access."""
+
+    transfer_bytes_per_us: float = 3.0
+    """Media transfer rate."""
+
+    block_bytes: int = 8_192
+    """Cache/transfer block size (NFS block size)."""
+
+
+@dataclass(frozen=True)
+class ServerParameters:
+    """File-server CPU cost model."""
+
+    cpu_per_op_us: float = 150.0
+    """Fixed request-processing cost per RPC."""
+
+    cpu_per_byte_us: float = 0.02
+    """Marginal per-byte cost (checksums, copies)."""
+
+    cache_blocks: int = 1_024
+    """Server buffer-cache capacity in blocks (1024 x 8 KiB = 8 MiB)."""
+
+    write_policy: str = "write-behind"
+    """``"write-behind"``: writes land in the buffer cache and are flushed
+    to disk in batches once ``flush_threshold_bytes`` of dirty data
+    accumulate (the flush stalls the triggering request — the occasional
+    multi-millisecond events behind Table 5.3's large standard
+    deviations).  ``"write-through"``: every WRITE RPC reaches the disk
+    before the reply (strict NFSv2; kept for the ablation benchmarks —
+    production servers of the era commonly ran asynchronous)."""
+
+    flush_threshold_bytes: int = 65_536
+    """Dirty-data high-water mark triggering a batched flush."""
+
+
+@dataclass(frozen=True)
+class ClientParameters:
+    """Client-machine cost model (the workstation all users share)."""
+
+    syscall_overhead_us: float = 50.0
+    """Kernel entry/exit and argument copying per system call."""
+
+    max_transfer_bytes: int = 8_192
+    """Largest READ/WRITE RPC payload; larger calls split into pages."""
+
+    whole_file_cache_bytes: int = 16 * 1024 * 1024
+    """AFS-style local cache capacity (only used by the AFS-like client)."""
+
+
+@dataclass(frozen=True)
+class NfsTiming:
+    """Complete timing parameter set for a simulated file system."""
+
+    network: NetworkParameters = field(default_factory=NetworkParameters)
+    disk: DiskParameters = field(default_factory=DiskParameters)
+    server: ServerParameters = field(default_factory=ServerParameters)
+    client: ClientParameters = field(default_factory=ClientParameters)
+
+
+SUN_NFS_TIMING = NfsTiming()
+"""Default calibration: remote NFS over shared Ethernet, write-behind."""
+
+LOCAL_DISK_TIMING = NfsTiming(
+    network=NetworkParameters(latency_us=0.0, bandwidth_bytes_per_us=1e9),
+    server=ServerParameters(cpu_per_op_us=60.0, cpu_per_byte_us=0.01),
+)
+"""A local UNIX file system: no network hop, delayed (cached) writes."""
+
+AFS_LIKE_TIMING = NfsTiming()
+"""Andrew-style: bulk whole-file transfers, local cache absorbs I/O."""
+
+STRICT_NFSV2_TIMING = NfsTiming(
+    server=ServerParameters(write_policy="write-through"),
+)
+"""Strict NFSv2 synchronous writes — the write-policy ablation point."""

@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate.
+
+Generator-based processes over a deterministic event heap, FIFO resources
+with utilisation accounting, and the statistics accumulators shared with
+the analyzer.
+"""
+
+from .engine import (
+    Acquire,
+    Delay,
+    Engine,
+    Join,
+    Process,
+    Release,
+    SimulationError,
+)
+from .resources import Resource
+from .stats import Histogram, RunningStats, TimeWeightedValue, smooth_counts
+
+__all__ = [
+    "Acquire",
+    "Delay",
+    "Engine",
+    "Join",
+    "Process",
+    "Release",
+    "SimulationError",
+    "Resource",
+    "Histogram",
+    "RunningStats",
+    "TimeWeightedValue",
+    "smooth_counts",
+]

@@ -1,0 +1,97 @@
+"""Contended resources for the simulation engine.
+
+A :class:`Resource` models a server with ``capacity`` identical units and a
+FIFO queue — the building block for the simulated NFS server's CPU and
+disk.  Utilisation and queue statistics are collected as time-weighted
+integrals so experiments can report server load alongside response times.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .engine import Engine, Process, SimulationError
+from .stats import TimeWeightedValue
+
+__all__ = ["Resource"]
+
+
+class Resource:
+    """A FIFO multi-server resource.
+
+    Processes interact through the engine commands::
+
+        yield Acquire(resource)
+        ...  # hold the resource
+        yield Release(resource)
+
+    Statistics
+    ----------
+    ``utilization(now)`` — time-average busy fraction per unit;
+    ``mean_queue_length(now)`` — time-average waiters;
+    ``total_acquisitions`` — grant count.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: deque[Process] = deque()
+        self.total_acquisitions = 0
+        self._busy = TimeWeightedValue(engine)
+        self._queue = TimeWeightedValue(engine)
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Processes waiting for a grant."""
+        return len(self._waiting)
+
+    # -- engine callbacks -----------------------------------------------------
+
+    def _enqueue(self, process: Process) -> None:
+        if self._in_use < self.capacity:
+            self._grant(process)
+        else:
+            self._waiting.append(process)
+            self._queue.record(len(self._waiting))
+
+    def _release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        self._busy.record(self._in_use)
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self._queue.record(len(self._waiting))
+            self._grant(nxt)
+
+    def _grant(self, process: Process) -> None:
+        self._in_use += 1
+        self.total_acquisitions += 1
+        self._busy.record(self._in_use)
+        self.engine._resume(process)
+
+    # -- statistics --------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Time-average busy fraction in [0, 1] up to the current time."""
+        average_busy = self._busy.time_average()
+        return average_busy / self.capacity
+
+    def mean_queue_length(self) -> float:
+        """Time-average number of waiting processes."""
+        return self._queue.time_average()
+
+    def __repr__(self) -> str:
+        return (
+            f"Resource({self.name!r}, capacity={self.capacity}, "
+            f"in_use={self._in_use}, queued={len(self._waiting)})"
+        )

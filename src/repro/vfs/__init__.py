@@ -1,0 +1,54 @@
+"""File-system substrate: the syscall-level surface the workload drives.
+
+Exports the interface types, the in-memory backend, the real-directory
+backend, and the errno-faithful error hierarchy.
+"""
+
+from .errors import (
+    BadDescriptorError,
+    CrossDeviceError,
+    DirectoryNotEmptyError,
+    FileExistsFsError,
+    FileSystemError,
+    InvalidArgumentError,
+    IsADirectoryFsError,
+    NoSpaceError,
+    NoSuchFileError,
+    NotADirectoryFsError,
+    ReadOnlyDescriptorError,
+    TooManyOpenFilesError,
+    error_from_errno,
+)
+from .interface import FileKind, FileSystemAPI, OpenFlags, Stat, Whence
+from .localfs import LocalFileSystem
+from .memfs import Inode, MemoryFileSystem
+from .path import is_abs, join, normalize, parent_and_name, split_components
+
+__all__ = [
+    "BadDescriptorError",
+    "CrossDeviceError",
+    "DirectoryNotEmptyError",
+    "FileExistsFsError",
+    "FileSystemError",
+    "InvalidArgumentError",
+    "IsADirectoryFsError",
+    "NoSpaceError",
+    "NoSuchFileError",
+    "NotADirectoryFsError",
+    "ReadOnlyDescriptorError",
+    "TooManyOpenFilesError",
+    "error_from_errno",
+    "FileKind",
+    "FileSystemAPI",
+    "OpenFlags",
+    "Stat",
+    "Whence",
+    "LocalFileSystem",
+    "Inode",
+    "MemoryFileSystem",
+    "is_abs",
+    "join",
+    "normalize",
+    "parent_and_name",
+    "split_components",
+]

@@ -1,0 +1,138 @@
+"""File-system error hierarchy with errno semantics.
+
+The workload generator executes file I/O "at the system call level"
+(thesis section 3.1.2), so the substrate reports failures the way UNIX
+system calls do: a symbolic errno plus the offending path or descriptor.
+Both the in-memory file system and the real-directory backend raise the
+same exception types, which keeps the USIM's error handling backend-
+agnostic.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+
+__all__ = [
+    "FileSystemError",
+    "NoSuchFileError",
+    "FileExistsFsError",
+    "NotADirectoryFsError",
+    "IsADirectoryFsError",
+    "BadDescriptorError",
+    "DirectoryNotEmptyError",
+    "NoSpaceError",
+    "TooManyOpenFilesError",
+    "InvalidArgumentError",
+    "ReadOnlyDescriptorError",
+    "CrossDeviceError",
+    "error_from_errno",
+]
+
+
+class FileSystemError(OSError):
+    """Base class for all substrate file-system failures.
+
+    Carries a real ``errno`` so callers may treat it like an ``OSError``
+    from a genuine system call.
+    """
+
+    default_errno = _errno.EIO
+
+    def __init__(self, message: str, path: str | None = None,
+                 errno_code: int | None = None):
+        code = errno_code if errno_code is not None else self.default_errno
+        super().__init__(code, message, path)
+        self.path = path
+
+    @property
+    def errno_name(self) -> str:
+        """Symbolic errno name, e.g. ``"ENOENT"``."""
+        return _errno.errorcode.get(self.errno, f"E{self.errno}")
+
+
+class NoSuchFileError(FileSystemError):
+    """ENOENT: a path component does not exist."""
+
+    default_errno = _errno.ENOENT
+
+
+class FileExistsFsError(FileSystemError):
+    """EEXIST: exclusive create of an existing path."""
+
+    default_errno = _errno.EEXIST
+
+
+class NotADirectoryFsError(FileSystemError):
+    """ENOTDIR: a non-directory used as a path prefix or dir operand."""
+
+    default_errno = _errno.ENOTDIR
+
+
+class IsADirectoryFsError(FileSystemError):
+    """EISDIR: file operation applied to a directory."""
+
+    default_errno = _errno.EISDIR
+
+
+class BadDescriptorError(FileSystemError):
+    """EBADF: operation on a closed or never-opened descriptor."""
+
+    default_errno = _errno.EBADF
+
+
+class DirectoryNotEmptyError(FileSystemError):
+    """ENOTEMPTY: rmdir of a non-empty directory."""
+
+    default_errno = _errno.ENOTEMPTY
+
+
+class NoSpaceError(FileSystemError):
+    """ENOSPC: the file system's capacity limit is exhausted."""
+
+    default_errno = _errno.ENOSPC
+
+
+class TooManyOpenFilesError(FileSystemError):
+    """EMFILE: the per-process descriptor table is full."""
+
+    default_errno = _errno.EMFILE
+
+
+class InvalidArgumentError(FileSystemError):
+    """EINVAL: malformed flags, negative sizes, bad whence values, ..."""
+
+    default_errno = _errno.EINVAL
+
+
+class ReadOnlyDescriptorError(FileSystemError):
+    """EBADF variant: writing a descriptor opened read-only (POSIX uses
+    EBADF here, not EACCES)."""
+
+    default_errno = _errno.EBADF
+
+
+class CrossDeviceError(FileSystemError):
+    """EXDEV: rename across file-system boundaries."""
+
+    default_errno = _errno.EXDEV
+
+
+_ERRNO_TO_CLASS: dict[int, type[FileSystemError]] = {
+    _errno.ENOENT: NoSuchFileError,
+    _errno.EEXIST: FileExistsFsError,
+    _errno.ENOTDIR: NotADirectoryFsError,
+    _errno.EISDIR: IsADirectoryFsError,
+    _errno.EBADF: BadDescriptorError,
+    _errno.ENOTEMPTY: DirectoryNotEmptyError,
+    _errno.ENOSPC: NoSpaceError,
+    _errno.EMFILE: TooManyOpenFilesError,
+    _errno.EINVAL: InvalidArgumentError,
+    _errno.EXDEV: CrossDeviceError,
+}
+
+
+def error_from_errno(code: int, message: str,
+                     path: str | None = None) -> FileSystemError:
+    """Map a raw errno (e.g. from a real ``OSError``) onto our hierarchy."""
+    cls = _ERRNO_TO_CLASS.get(code, FileSystemError)
+    return cls(message, path=path, errno_code=code)

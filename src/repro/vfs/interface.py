@@ -1,0 +1,151 @@
+"""The syscall-level file-system interface.
+
+The thesis chose "kernel level (or system call level in UNIX systems) as
+the appropriate level at which to model the workload" (section 3.1.2).
+This module defines exactly that surface: the UNIX file-access calls the
+USIM emits, with POSIX flag and whence semantics.
+
+Three backends implement the interface:
+
+* :class:`repro.vfs.memfs.MemoryFileSystem` — in-memory inodes,
+* :class:`repro.vfs.localfs.LocalFileSystem` — a sandboxed real directory,
+* the simulated NFS / LocalDisk / AFS clients in :mod:`repro.nfs`, which
+  add timing on top of a ``MemoryFileSystem`` store.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["OpenFlags", "Whence", "FileKind", "Stat", "FileSystemAPI"]
+
+
+class OpenFlags(enum.IntFlag):
+    """POSIX ``open(2)`` flags (the subset the workload model uses)."""
+
+    RDONLY = 0x0
+    WRONLY = 0x1
+    RDWR = 0x2
+    CREAT = 0x40
+    EXCL = 0x80
+    TRUNC = 0x200
+    APPEND = 0x400
+
+    @property
+    def access_mode(self) -> "OpenFlags":
+        """The two-bit access mode portion of the flags."""
+        return OpenFlags(self & 0x3)
+
+    @property
+    def readable(self) -> bool:
+        """True when the descriptor may be read."""
+        return self.access_mode in (OpenFlags.RDONLY, OpenFlags.RDWR)
+
+    @property
+    def writable(self) -> bool:
+        """True when the descriptor may be written."""
+        return self.access_mode in (OpenFlags.WRONLY, OpenFlags.RDWR)
+
+
+class Whence(enum.IntEnum):
+    """``lseek(2)`` origin selector."""
+
+    SET = 0
+    CUR = 1
+    END = 2
+
+
+class FileKind(enum.Enum):
+    """Inode type: the thesis's "directories are treated as special files"."""
+
+    REGULAR = "regular"
+    DIRECTORY = "directory"
+
+
+@dataclass(frozen=True)
+class Stat:
+    """Subset of ``struct stat`` the workload generator consumes."""
+
+    inode: int
+    kind: FileKind
+    size: int
+    nlink: int
+    ctime: float
+    mtime: float
+    atime: float
+
+    @property
+    def is_dir(self) -> bool:
+        """True for directories."""
+        return self.kind is FileKind.DIRECTORY
+
+
+@runtime_checkable
+class FileSystemAPI(Protocol):
+    """The system-call surface both real and simulated backends provide.
+
+    Methods mirror their UNIX counterparts; descriptors are small ints;
+    failures raise :class:`repro.vfs.errors.FileSystemError` subclasses.
+    """
+
+    def open(self, path: str, flags: OpenFlags) -> int:
+        """Open ``path``; returns a file descriptor."""
+        ...
+
+    def creat(self, path: str) -> int:
+        """Create (or truncate) and open write-only: open(CREAT|TRUNC|WRONLY)."""
+        ...
+
+    def close(self, fd: int) -> None:
+        """Release descriptor ``fd``."""
+        ...
+
+    def read(self, fd: int, size: int) -> bytes:
+        """Read up to ``size`` bytes at the descriptor offset."""
+        ...
+
+    def write(self, fd: int, data: bytes) -> int:
+        """Write ``data`` at the descriptor offset; returns bytes written."""
+        ...
+
+    def lseek(self, fd: int, offset: int, whence: Whence = Whence.SET) -> int:
+        """Reposition the descriptor; returns the new absolute offset."""
+        ...
+
+    def stat(self, path: str) -> Stat:
+        """Return metadata for ``path``."""
+        ...
+
+    def fstat(self, fd: int) -> Stat:
+        """Return metadata for an open descriptor."""
+        ...
+
+    def unlink(self, path: str) -> None:
+        """Remove a regular file's directory entry."""
+        ...
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory."""
+        ...
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        ...
+
+    def listdir(self, path: str) -> list[str]:
+        """List directory entry names (sorted)."""
+        ...
+
+    def rename(self, old: str, new: str) -> None:
+        """Atomically rename ``old`` to ``new``."""
+        ...
+
+    def truncate(self, path: str, size: int) -> None:
+        """Set a regular file's length to ``size``."""
+        ...
+
+    def exists(self, path: str) -> bool:
+        """True when ``path`` resolves to an inode."""
+        ...

@@ -1,0 +1,208 @@
+"""Real-directory backend: drive an actual file system.
+
+The thesis's generator, "when used to drive a real file system", executes
+the generated operations for real, against "a new file system ... created
+to which file I/O is directed" so existing data is never touched
+(section 4.1).  ``LocalFileSystem`` is that mode: it maps the substrate's
+absolute virtual paths into a sandbox root directory and issues genuine
+``os.*`` system calls, translating ``OSError`` into our errno-faithful
+hierarchy.
+
+Wall-clock response-time measurement for this backend lives in the USIM's
+``RealRunner`` (:mod:`repro.core.usim`).
+"""
+
+from __future__ import annotations
+
+import os
+
+from . import path as vpath
+from .errors import (
+    FileSystemError,
+    InvalidArgumentError,
+    error_from_errno,
+)
+from .interface import FileKind, OpenFlags, Stat, Whence
+
+__all__ = ["LocalFileSystem"]
+
+_FLAG_MAP = [
+    (OpenFlags.WRONLY, os.O_WRONLY),
+    (OpenFlags.RDWR, os.O_RDWR),
+    (OpenFlags.CREAT, os.O_CREAT),
+    (OpenFlags.EXCL, os.O_EXCL),
+    (OpenFlags.TRUNC, os.O_TRUNC),
+    (OpenFlags.APPEND, os.O_APPEND),
+]
+
+
+def _to_os_flags(flags: OpenFlags) -> int:
+    out = os.O_RDONLY
+    for ours, theirs in _FLAG_MAP:
+        if flags & ours:
+            out |= theirs
+    return out
+
+
+class LocalFileSystem:
+    """``FileSystemAPI`` over a real directory subtree.
+
+    Every virtual absolute path (``/system/f0042``) is resolved inside
+    ``root``; escapes via ``..`` are prevented by normalising before the
+    join, so the workload can never touch files outside the sandbox.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- path mapping -------------------------------------------------------
+
+    def _host_path(self, path: str) -> str:
+        relative = vpath.normalize(path).lstrip("/")
+        return os.path.join(self.root, *relative.split("/")) if relative else self.root
+
+    # -- syscall surface ------------------------------------------------------
+
+    def open(self, path: str, flags: OpenFlags) -> int:
+        """Open via ``os.open`` with translated flags."""
+        try:
+            return os.open(self._host_path(path), _to_os_flags(OpenFlags(flags)))
+        except OSError as exc:
+            raise self._translate(exc, path) from exc
+
+    def creat(self, path: str) -> int:
+        """``creat(2)`` equivalent."""
+        return self.open(
+            path, OpenFlags.WRONLY | OpenFlags.CREAT | OpenFlags.TRUNC
+        )
+
+    def close(self, fd: int) -> None:
+        """Close a real descriptor."""
+        try:
+            os.close(fd)
+        except OSError as exc:
+            raise self._translate(exc, None) from exc
+
+    def read(self, fd: int, size: int) -> bytes:
+        """``read(2)``."""
+        if size < 0:
+            raise InvalidArgumentError(f"negative read size {size}")
+        try:
+            return os.read(fd, size)
+        except OSError as exc:
+            raise self._translate(exc, None) from exc
+
+    def write(self, fd: int, data: bytes) -> int:
+        """``write(2)``."""
+        try:
+            return os.write(fd, data)
+        except OSError as exc:
+            raise self._translate(exc, None) from exc
+
+    def lseek(self, fd: int, offset: int, whence: Whence = Whence.SET) -> int:
+        """``lseek(2)``."""
+        try:
+            return os.lseek(fd, offset, int(whence))
+        except OSError as exc:
+            raise self._translate(exc, None) from exc
+
+    def stat(self, path: str) -> Stat:
+        """``stat(2)`` mapped into the substrate's ``Stat``."""
+        try:
+            raw = os.stat(self._host_path(path))
+        except OSError as exc:
+            raise self._translate(exc, path) from exc
+        return self._convert_stat(raw)
+
+    def fstat(self, fd: int) -> Stat:
+        """``fstat(2)``."""
+        try:
+            raw = os.fstat(fd)
+        except OSError as exc:
+            raise self._translate(exc, None) from exc
+        return self._convert_stat(raw)
+
+    def unlink(self, path: str) -> None:
+        """``unlink(2)``."""
+        try:
+            os.unlink(self._host_path(path))
+        except OSError as exc:
+            raise self._translate(exc, path) from exc
+
+    def mkdir(self, path: str) -> None:
+        """``mkdir(2)``."""
+        try:
+            os.mkdir(self._host_path(path))
+        except OSError as exc:
+            raise self._translate(exc, path) from exc
+
+    def makedirs(self, path: str) -> None:
+        """Create a directory and any missing ancestors."""
+        try:
+            os.makedirs(self._host_path(path), exist_ok=True)
+        except OSError as exc:
+            raise self._translate(exc, path) from exc
+
+    def rmdir(self, path: str) -> None:
+        """``rmdir(2)``."""
+        try:
+            os.rmdir(self._host_path(path))
+        except OSError as exc:
+            raise self._translate(exc, path) from exc
+
+    def listdir(self, path: str) -> list[str]:
+        """Sorted directory listing."""
+        try:
+            return sorted(os.listdir(self._host_path(path)))
+        except OSError as exc:
+            raise self._translate(exc, path) from exc
+
+    def rename(self, old: str, new: str) -> None:
+        """``rename(2)`` within the sandbox."""
+        try:
+            os.rename(self._host_path(old), self._host_path(new))
+        except OSError as exc:
+            raise self._translate(exc, old) from exc
+
+    def truncate(self, path: str, size: int) -> None:
+        """``truncate(2)``."""
+        if size < 0:
+            raise InvalidArgumentError(f"negative truncate size {size}")
+        try:
+            os.truncate(self._host_path(path), size)
+        except OSError as exc:
+            raise self._translate(exc, path) from exc
+
+    def exists(self, path: str) -> bool:
+        """``access(2)``-style existence probe."""
+        return os.path.exists(self._host_path(path))
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _translate(exc: OSError, path: str | None) -> FileSystemError:
+        return error_from_errno(
+            exc.errno if exc.errno is not None else 0,
+            exc.strerror or str(exc),
+            path=path,
+        )
+
+    @staticmethod
+    def _convert_stat(raw: os.stat_result) -> Stat:
+        import stat as stat_module
+
+        kind = (
+            FileKind.DIRECTORY
+            if stat_module.S_ISDIR(raw.st_mode)
+            else FileKind.REGULAR
+        )
+        return Stat(
+            inode=raw.st_ino,
+            kind=kind,
+            size=raw.st_size,
+            nlink=raw.st_nlink,
+            ctime=raw.st_ctime,
+            mtime=raw.st_mtime,
+            atime=raw.st_atime,
+        )

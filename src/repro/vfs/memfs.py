@@ -1,0 +1,482 @@
+"""In-memory Unix-like file system.
+
+This is the substrate the simulated experiments run against: a complete
+inode-based file system with directories, hard links, per-descriptor
+offsets, POSIX open flags and errno-faithful failures.  It also serves as
+the storage engine inside the simulated NFS/AFS servers (which add timing
+on top).
+
+The thesis's File System Creator "builds a new file system according to
+user-specified parameters" to avoid perturbing real data (section 4.1.2);
+``MemoryFileSystem`` is that new file system when experiments are run in
+simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from . import path as vpath
+from .errors import (
+    BadDescriptorError,
+    DirectoryNotEmptyError,
+    FileExistsFsError,
+    InvalidArgumentError,
+    IsADirectoryFsError,
+    NoSpaceError,
+    NoSuchFileError,
+    NotADirectoryFsError,
+    ReadOnlyDescriptorError,
+    TooManyOpenFilesError,
+)
+from .interface import FileKind, OpenFlags, Stat, Whence
+
+__all__ = ["MemoryFileSystem", "Inode"]
+
+
+@dataclass
+class Inode:
+    """A file or directory node.
+
+    Regular files hold their bytes in ``data``; directories map entry name
+    to child inode number in ``entries``.
+    """
+
+    number: int
+    kind: FileKind
+    nlink: int = 1
+    ctime: float = 0.0
+    mtime: float = 0.0
+    atime: float = 0.0
+    data: bytearray = field(default_factory=bytearray)
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Byte length for files, entry count for directories."""
+        if self.kind is FileKind.DIRECTORY:
+            return len(self.entries)
+        return len(self.data)
+
+
+@dataclass
+class _OpenFile:
+    """An open file description: inode + offset + flags."""
+
+    fd: int
+    inode: Inode
+    flags: OpenFlags
+    offset: int = 0
+
+
+class MemoryFileSystem:
+    """A complete in-memory file system implementing ``FileSystemAPI``.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Optional total data capacity; writes beyond it raise ENOSPC.  Lets
+        failure-injection tests exercise the USIM's behaviour on full disks.
+    max_open_files:
+        Size of the descriptor table (EMFILE beyond it).
+    """
+
+    def __init__(self, capacity_bytes: int | None = None,
+                 max_open_files: int = 1024):
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise InvalidArgumentError("capacity_bytes must be >= 0")
+        if max_open_files < 1:
+            raise InvalidArgumentError("max_open_files must be >= 1")
+        self.capacity_bytes = capacity_bytes
+        self.max_open_files = max_open_files
+        self._inode_numbers = itertools.count(2)
+        self._clock = itertools.count(1)
+        self.root = Inode(number=1, kind=FileKind.DIRECTORY, nlink=2)
+        self._inodes: dict[int, Inode] = {1: self.root}
+        self._open_files: dict[int, _OpenFile] = {}
+        self._next_fd = 3  # reserve 0/1/2 like a real process would
+        self._bytes_used = 0
+
+    # -- internals ---------------------------------------------------------
+
+    def _now(self) -> float:
+        """Logical timestamp: a monotonically increasing operation counter.
+
+        Wall-clock time would make simulated runs non-reproducible; the
+        workload model only needs ordering.
+        """
+        return float(next(self._clock))
+
+    def _lookup(self, path: str) -> Inode:
+        """Resolve ``path`` to an inode or raise ENOENT/ENOTDIR."""
+        node = self.root
+        for part in vpath.split_components(path):
+            if node.kind is not FileKind.DIRECTORY:
+                raise NotADirectoryFsError(
+                    f"{part!r} reached through a non-directory", path=path
+                )
+            child_num = node.entries.get(part)
+            if child_num is None:
+                raise NoSuchFileError(f"no such file or directory", path=path)
+            node = self._inodes[child_num]
+        return node
+
+    def _lookup_parent(self, path: str) -> tuple[Inode, str]:
+        """Resolve the parent directory of ``path``; returns (dir, name)."""
+        parent_path, name = vpath.parent_and_name(path)
+        parent = self._lookup(parent_path)
+        if parent.kind is not FileKind.DIRECTORY:
+            raise NotADirectoryFsError("parent is not a directory", path=path)
+        return parent, name
+
+    def _descriptor(self, fd: int) -> _OpenFile:
+        open_file = self._open_files.get(fd)
+        if open_file is None:
+            raise BadDescriptorError(f"descriptor {fd} is not open")
+        return open_file
+
+    def _allocate_fd(self, inode: Inode, flags: OpenFlags) -> int:
+        if len(self._open_files) >= self.max_open_files:
+            raise TooManyOpenFilesError(
+                f"descriptor table full ({self.max_open_files})"
+            )
+        fd = self._next_fd
+        self._next_fd += 1
+        self._open_files[fd] = _OpenFile(fd=fd, inode=inode, flags=flags)
+        return fd
+
+    def _charge_bytes(self, delta: int, path_hint: str | None = None) -> None:
+        """Account data growth against the capacity limit."""
+        if delta <= 0:
+            self._bytes_used += delta
+            return
+        if (
+            self.capacity_bytes is not None
+            and self._bytes_used + delta > self.capacity_bytes
+        ):
+            raise NoSpaceError(
+                f"file system full ({self.capacity_bytes} bytes)",
+                path=path_hint,
+            )
+        self._bytes_used += delta
+
+    # -- syscall surface -----------------------------------------------------
+
+    def open(self, path: str, flags: OpenFlags) -> int:
+        """Open ``path`` per POSIX ``open(2)`` semantics."""
+        flags = OpenFlags(flags)
+        try:
+            inode = self._lookup(path)
+            exists = True
+        except NoSuchFileError:
+            inode = None
+            exists = False
+
+        if exists and flags & OpenFlags.CREAT and flags & OpenFlags.EXCL:
+            raise FileExistsFsError("exclusive create of existing path", path=path)
+        if not exists:
+            if not flags & OpenFlags.CREAT:
+                raise NoSuchFileError("no such file or directory", path=path)
+            parent, name = self._lookup_parent(path)
+            inode = self._make_inode(FileKind.REGULAR)
+            parent.entries[name] = inode.number
+            parent.mtime = inode.ctime
+        assert inode is not None
+
+        if inode.kind is FileKind.DIRECTORY:
+            if flags.writable:
+                raise IsADirectoryFsError("cannot open directory for writing",
+                                          path=path)
+        elif flags & OpenFlags.TRUNC and flags.writable and inode.data:
+            self._charge_bytes(-len(inode.data))
+            inode.data = bytearray()
+            inode.mtime = self._now()
+
+        return self._allocate_fd(inode, flags)
+
+    def creat(self, path: str) -> int:
+        """``creat(2)``: open(path, WRONLY | CREAT | TRUNC)."""
+        return self.open(
+            path, OpenFlags.WRONLY | OpenFlags.CREAT | OpenFlags.TRUNC
+        )
+
+    def close(self, fd: int) -> None:
+        """Release a descriptor; EBADF when not open."""
+        self._descriptor(fd)
+        del self._open_files[fd]
+
+    def read(self, fd: int, size: int) -> bytes:
+        """Read up to ``size`` bytes from the descriptor offset."""
+        if size < 0:
+            raise InvalidArgumentError(f"negative read size {size}")
+        open_file = self._descriptor(fd)
+        if not open_file.flags.readable:
+            raise BadDescriptorError(f"descriptor {fd} is write-only")
+        inode = open_file.inode
+        if inode.kind is FileKind.DIRECTORY:
+            raise IsADirectoryFsError("read(2) on a directory")
+        start = open_file.offset
+        chunk = bytes(inode.data[start:start + size])
+        open_file.offset = start + len(chunk)
+        inode.atime = self._now()
+        return chunk
+
+    def write(self, fd: int, data: bytes) -> int:
+        """Write ``data`` at the descriptor offset (or EOF with APPEND)."""
+        open_file = self._descriptor(fd)
+        if not open_file.flags.writable:
+            raise ReadOnlyDescriptorError(f"descriptor {fd} is read-only")
+        inode = open_file.inode
+        if open_file.flags & OpenFlags.APPEND:
+            open_file.offset = len(inode.data)
+        end = open_file.offset + len(data)
+        growth = max(0, end - len(inode.data))
+        self._charge_bytes(growth)
+        if growth:
+            inode.data.extend(b"\x00" * growth)
+        inode.data[open_file.offset:end] = data
+        open_file.offset = end
+        inode.mtime = self._now()
+        return len(data)
+
+    def lseek(self, fd: int, offset: int, whence: Whence = Whence.SET) -> int:
+        """Reposition a descriptor; returns the new offset."""
+        open_file = self._descriptor(fd)
+        if whence == Whence.SET:
+            new_offset = offset
+        elif whence == Whence.CUR:
+            new_offset = open_file.offset + offset
+        elif whence == Whence.END:
+            new_offset = len(open_file.inode.data) + offset
+        else:
+            raise InvalidArgumentError(f"bad whence {whence!r}")
+        if new_offset < 0:
+            raise InvalidArgumentError(f"seek to negative offset {new_offset}")
+        open_file.offset = new_offset
+        return new_offset
+
+    def stat(self, path: str) -> Stat:
+        """Metadata for ``path``."""
+        return self._stat_of(self._lookup(path))
+
+    def fstat(self, fd: int) -> Stat:
+        """Metadata for an open descriptor."""
+        return self._stat_of(self._descriptor(fd).inode)
+
+    def unlink(self, path: str) -> None:
+        """Remove a file entry; data is freed when the last link goes."""
+        parent, name = self._lookup_parent(path)
+        child_num = parent.entries.get(name)
+        if child_num is None:
+            raise NoSuchFileError("no such file or directory", path=path)
+        child = self._inodes[child_num]
+        if child.kind is FileKind.DIRECTORY:
+            raise IsADirectoryFsError("unlink(2) on a directory", path=path)
+        del parent.entries[name]
+        parent.mtime = self._now()
+        child.nlink -= 1
+        if child.nlink == 0:
+            self._charge_bytes(-len(child.data))
+            del self._inodes[child_num]
+
+    def link(self, existing: str, new: str) -> None:
+        """Create a hard link ``new`` to ``existing``."""
+        inode = self._lookup(existing)
+        if inode.kind is FileKind.DIRECTORY:
+            raise IsADirectoryFsError("hard link to a directory", path=existing)
+        parent, name = self._lookup_parent(new)
+        if name in parent.entries:
+            raise FileExistsFsError("link target exists", path=new)
+        parent.entries[name] = inode.number
+        inode.nlink += 1
+        parent.mtime = self._now()
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory; EEXIST when the name is taken."""
+        parent, name = self._lookup_parent(path)
+        if name in parent.entries:
+            raise FileExistsFsError("path already exists", path=path)
+        child = self._make_inode(FileKind.DIRECTORY)
+        child.nlink = 2  # "." plus the parent entry
+        parent.entries[name] = child.number
+        parent.nlink += 1
+        parent.mtime = self._now()
+
+    def makedirs(self, path: str) -> None:
+        """Create ``path`` and any missing ancestors (idempotent)."""
+        parts = vpath.split_components(path)
+        current = ""
+        for part in parts:
+            current = f"{current}/{part}"
+            if not self.exists(current):
+                self.mkdir(current)
+            elif not self.stat(current).is_dir:
+                raise NotADirectoryFsError(
+                    "path component is a file", path=current
+                )
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        parent, name = self._lookup_parent(path)
+        child_num = parent.entries.get(name)
+        if child_num is None:
+            raise NoSuchFileError("no such file or directory", path=path)
+        child = self._inodes[child_num]
+        if child.kind is not FileKind.DIRECTORY:
+            raise NotADirectoryFsError("rmdir(2) on a file", path=path)
+        if child.entries:
+            raise DirectoryNotEmptyError("directory not empty", path=path)
+        del parent.entries[name]
+        del self._inodes[child_num]
+        parent.nlink -= 1
+        parent.mtime = self._now()
+
+    def listdir(self, path: str) -> list[str]:
+        """Sorted entry names of a directory."""
+        inode = self._lookup(path)
+        if inode.kind is not FileKind.DIRECTORY:
+            raise NotADirectoryFsError("listdir on a file", path=path)
+        return sorted(inode.entries)
+
+    def rename(self, old: str, new: str) -> None:
+        """Rename ``old`` to ``new``, replacing a compatible target."""
+        old_parent, old_name = self._lookup_parent(old)
+        if old_name not in old_parent.entries:
+            raise NoSuchFileError("no such file or directory", path=old)
+        moving_num = old_parent.entries[old_name]
+        moving = self._inodes[moving_num]
+        new_parent, new_name = self._lookup_parent(new)
+
+        target_num = new_parent.entries.get(new_name)
+        if target_num is not None:
+            if target_num == moving_num:
+                return  # rename onto itself is a no-op
+            target = self._inodes[target_num]
+            if target.kind is FileKind.DIRECTORY:
+                if moving.kind is not FileKind.DIRECTORY:
+                    raise IsADirectoryFsError("target is a directory", path=new)
+                if target.entries:
+                    raise DirectoryNotEmptyError("target not empty", path=new)
+                del self._inodes[target_num]
+                new_parent.nlink -= 1
+            else:
+                if moving.kind is FileKind.DIRECTORY:
+                    raise NotADirectoryFsError("target is a file", path=new)
+                target.nlink -= 1
+                if target.nlink == 0:
+                    self._charge_bytes(-len(target.data))
+                    del self._inodes[target_num]
+
+        del old_parent.entries[old_name]
+        new_parent.entries[new_name] = moving_num
+        if moving.kind is FileKind.DIRECTORY and old_parent is not new_parent:
+            old_parent.nlink -= 1
+            new_parent.nlink += 1
+        stamp = self._now()
+        old_parent.mtime = stamp
+        new_parent.mtime = stamp
+
+    def truncate(self, path: str, size: int) -> None:
+        """Set a file's length (zero-fill growth, free shrinkage)."""
+        if size < 0:
+            raise InvalidArgumentError(f"negative truncate size {size}")
+        inode = self._lookup(path)
+        if inode.kind is FileKind.DIRECTORY:
+            raise IsADirectoryFsError("truncate(2) on a directory", path=path)
+        delta = size - len(inode.data)
+        self._charge_bytes(delta, path_hint=path)
+        if delta > 0:
+            inode.data.extend(b"\x00" * delta)
+        else:
+            del inode.data[size:]
+        inode.mtime = self._now()
+
+    def exists(self, path: str) -> bool:
+        """True when ``path`` resolves."""
+        try:
+            self._lookup(path)
+            return True
+        except (NoSuchFileError, NotADirectoryFsError):
+            return False
+
+    # -- positioned access (pread/pwrite-style, used by simulated servers) ----
+
+    def read_at(self, path: str, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset`` without a descriptor."""
+        if offset < 0 or size < 0:
+            raise InvalidArgumentError("negative offset or size")
+        inode = self._lookup(path)
+        if inode.kind is FileKind.DIRECTORY:
+            raise IsADirectoryFsError("read on a directory", path=path)
+        inode.atime = self._now()
+        return bytes(inode.data[offset:offset + size])
+
+    def write_at(self, path: str, offset: int, data: bytes) -> int:
+        """Write ``data`` at ``offset`` without a descriptor."""
+        if offset < 0:
+            raise InvalidArgumentError("negative offset")
+        inode = self._lookup(path)
+        if inode.kind is FileKind.DIRECTORY:
+            raise IsADirectoryFsError("write on a directory", path=path)
+        end = offset + len(data)
+        growth = max(0, end - len(inode.data))
+        self._charge_bytes(growth, path_hint=path)
+        if growth:
+            inode.data.extend(b"\x00" * growth)
+        inode.data[offset:end] = data
+        inode.mtime = self._now()
+        return len(data)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def bytes_used(self) -> int:
+        """Total regular-file data currently stored."""
+        return self._bytes_used
+
+    @property
+    def open_descriptor_count(self) -> int:
+        """Number of live descriptors."""
+        return len(self._open_files)
+
+    @property
+    def inode_count(self) -> int:
+        """Number of live inodes, including the root."""
+        return len(self._inodes)
+
+    def walk(self, top: str = "/"):
+        """Yield ``(dir_path, dir_names, file_names)`` like ``os.walk``."""
+        inode = self._lookup(top)
+        if inode.kind is not FileKind.DIRECTORY:
+            raise NotADirectoryFsError("walk on a file", path=top)
+        dirs, files = [], []
+        for name in sorted(inode.entries):
+            child = self._inodes[inode.entries[name]]
+            (dirs if child.kind is FileKind.DIRECTORY else files).append(name)
+        yield vpath.normalize(top), dirs, files
+        for name in dirs:
+            yield from self.walk(vpath.join(top, name))
+
+    def _make_inode(self, kind: FileKind) -> Inode:
+        stamp = self._now()
+        inode = Inode(
+            number=next(self._inode_numbers),
+            kind=kind,
+            ctime=stamp,
+            mtime=stamp,
+            atime=stamp,
+        )
+        self._inodes[inode.number] = inode
+        return inode
+
+    def _stat_of(self, inode: Inode) -> Stat:
+        return Stat(
+            inode=inode.number,
+            kind=inode.kind,
+            size=inode.size,
+            nlink=inode.nlink,
+            ctime=inode.ctime,
+            mtime=inode.mtime,
+            atime=inode.atime,
+        )

@@ -1,0 +1,69 @@
+"""POSIX-style path handling for the virtual file systems.
+
+All substrate paths are absolute, ``/``-separated, and independent of the
+host OS conventions, so a workload specification behaves identically on the
+in-memory backend, the simulated NFS backend, and (modulo the sandbox root
+prefix) the real-directory backend.
+"""
+
+from __future__ import annotations
+
+from .errors import InvalidArgumentError
+
+__all__ = ["normalize", "split_components", "parent_and_name", "join", "is_abs"]
+
+SEPARATOR = "/"
+
+
+def is_abs(path: str) -> bool:
+    """True when ``path`` starts at the root."""
+    return path.startswith(SEPARATOR)
+
+
+def split_components(path: str) -> list[str]:
+    """Split an absolute path into its non-empty components.
+
+    ``"."`` components are dropped; ``".."`` pops the previous component
+    (stopping at the root, as POSIX resolution does for ``/..``).
+    """
+    if not path:
+        raise InvalidArgumentError("empty path", path=path)
+    if not is_abs(path):
+        raise InvalidArgumentError(
+            f"substrate paths must be absolute, got {path!r}", path=path
+        )
+    parts: list[str] = []
+    for raw in path.split(SEPARATOR):
+        if raw in ("", "."):
+            continue
+        if raw == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(raw)
+    return parts
+
+
+def normalize(path: str) -> str:
+    """Canonical absolute form: ``normalize("/a//b/./c/..") == "/a/b"``."""
+    return SEPARATOR + SEPARATOR.join(split_components(path))
+
+
+def parent_and_name(path: str) -> tuple[str, str]:
+    """Split into ``(parent_path, final_component)``.
+
+    Raises for the root itself, which has no parent entry to operate on.
+    """
+    parts = split_components(path)
+    if not parts:
+        raise InvalidArgumentError("operation on the root directory", path=path)
+    parent = SEPARATOR + SEPARATOR.join(parts[:-1])
+    return parent, parts[-1]
+
+
+def join(base: str, *names: str) -> str:
+    """Join path fragments and normalise the result."""
+    combined = base
+    for name in names:
+        combined = combined.rstrip(SEPARATOR) + SEPARATOR + name
+    return normalize(combined)

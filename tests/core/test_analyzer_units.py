@@ -1,0 +1,119 @@
+"""Unit tests for the analyzer on hand-built logs (no simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OpRecord, SessionRecord, UsageAnalyzer, UsageLog
+
+
+def op(kind, size, response=100.0, user=0, session=0, path="/f",
+       category="REG:USER:RDONLY"):
+    return OpRecord(
+        user_id=user, user_type="t", session_id=session, op=kind,
+        path=path, category_key=category, size=size, start_us=0.0,
+        response_us=response,
+    )
+
+
+def session_record(user=0, session_id=0, files=2, accessed=400,
+                   referenced=200):
+    return SessionRecord(
+        user_id=user, user_type="t", session_id=session_id, start_us=0.0,
+        end_us=50.0, files_referenced=files, bytes_accessed=accessed,
+        file_bytes_referenced=referenced, categories=("REG:USER:RDONLY",),
+    )
+
+
+@pytest.fixture
+def log():
+    built = UsageLog()
+    built.record_op(op("open", 200, response=300.0))
+    built.record_op(op("read", 150, response=1000.0))
+    built.record_op(op("write", 50, response=2000.0))
+    built.record_op(op("close", 0, response=50.0))
+    built.record_session(session_record())
+    built.record_session(session_record(session_id=1, files=4,
+                                        accessed=1200, referenced=300))
+    return built
+
+
+class TestSessionMeasures:
+    def test_arrays(self, log):
+        measures = UsageAnalyzer(log).session_measures()
+        np.testing.assert_allclose(measures.access_per_byte, [2.0, 4.0])
+        np.testing.assert_allclose(measures.mean_file_size, [100.0, 75.0])
+        np.testing.assert_allclose(measures.files_referenced, [2.0, 4.0])
+        assert measures.n_sessions == 2
+
+    def test_empty_log(self):
+        measures = UsageAnalyzer(UsageLog()).session_measures()
+        assert measures.n_sessions == 0
+
+
+class TestSyscallStats:
+    def test_access_size_only_data_ops(self, log):
+        stats = UsageAnalyzer(log).access_size_stats()
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(100.0)
+
+    def test_response_all_ops(self, log):
+        stats = UsageAnalyzer(log).response_time_stats()
+        assert stats.count == 4
+        assert stats.mean == pytest.approx((300 + 1000 + 2000 + 50) / 4)
+
+    def test_response_filtered(self, log):
+        stats = UsageAnalyzer(log).response_time_stats(ops=("read",))
+        assert stats.count == 1
+        assert stats.mean == 1000.0
+
+    def test_response_per_byte(self, log):
+        # (1000 + 2000) µs over 200 data bytes.
+        assert UsageAnalyzer(log).response_per_byte() == pytest.approx(15.0)
+
+    def test_response_per_byte_zero_bytes(self):
+        empty = UsageLog()
+        empty.record_op(op("open", 0))
+        assert UsageAnalyzer(empty).response_per_byte() == 0.0
+
+
+class TestHistograms:
+    def test_bins_configurable(self, log):
+        hist = UsageAnalyzer(log).histogram_access_per_byte(hi=5.0, n_bins=5)
+        assert hist.n_bins == 5
+        assert hist.total == 2
+
+    def test_files_referenced_histogram(self, log):
+        hist = UsageAnalyzer(log).histogram_files_referenced(hi=10, n_bins=10)
+        assert hist.counts[2] == 1
+        assert hist.counts[4] == 1
+
+
+class TestCharacterizationUnits:
+    def test_single_category_cell(self):
+        built = UsageLog()
+        built.record_op(op("open", 100))
+        built.record_op(op("read", 250))
+        built.record_op(op("write", 50))
+        built.record_session(session_record())
+        rows = UsageAnalyzer(built).characterization()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.category_key == "REG:USER:RDONLY"
+        # Without a layout, the written bytes stand in for the file size.
+        assert row.mean_files == 1.0
+        assert row.sessions_accessing == 1
+
+    def test_ops_without_category_ignored(self):
+        built = UsageLog()
+        built.record_op(op("read", 100, category=""))
+        built.record_session(session_record())
+        assert UsageAnalyzer(built).characterization() == []
+
+    def test_percent_of_users(self):
+        built = UsageLog()
+        built.record_op(op("open", 100, session=0))
+        built.record_op(op("open", 100, session=1, category=""))
+        built.record_session(session_record(session_id=0))
+        built.record_session(session_record(session_id=1))
+        rows = UsageAnalyzer(built).characterization()
+        assert rows[0].percent_of_users == pytest.approx(50.0)

@@ -1,0 +1,127 @@
+"""Failure-injection tests: the workload on constrained file systems."""
+
+import pytest
+
+from repro.core import (
+    FileSystemCreator,
+    RealRunner,
+    SessionGenerator,
+    UsageLog,
+    WorkloadGenerator,
+    paper_user_type,
+    paper_workload_spec,
+)
+from repro.distributions import RandomStreams
+from repro.vfs import (
+    MemoryFileSystem,
+    NoSpaceError,
+    NoSuchFileError,
+    TooManyOpenFilesError,
+)
+
+
+class TestCapacityExhaustion:
+    def test_fsc_surfaces_enospc(self):
+        """Creating the initial FS on a tiny disk fails loudly, not quietly."""
+        spec = paper_workload_spec(n_users=1, total_files=200, seed=1)
+        tiny = MemoryFileSystem(capacity_bytes=10_000)
+        with pytest.raises(NoSpaceError):
+            FileSystemCreator(spec).create(tiny)
+
+    def test_workload_surfaces_enospc_mid_run(self):
+        """A disk that fills during the run propagates ENOSPC to the caller."""
+        spec = paper_workload_spec(n_users=1, total_files=60, seed=1)
+        generator = WorkloadGenerator(spec)
+        # Enough room for the FSC build, little headroom for new files.
+        fs = MemoryFileSystem()
+        layout = generator.create_file_system(fs)
+        fs.capacity_bytes = fs.bytes_used + 2_000
+        runner = RealRunner(
+            fs,
+            SessionGenerator(
+                generator.spec.user_types[0], layout,
+                RandomStreams(1), user_id=0,
+            ),
+            UsageLog(),
+        )
+        with pytest.raises(NoSpaceError):
+            runner.run_sessions(20)
+
+    def test_descriptor_exhaustion(self):
+        """An fd table smaller than max_open_files trips EMFILE."""
+        spec = paper_workload_spec(n_users=1, total_files=60, seed=2)
+        generator = WorkloadGenerator(spec)
+        fs = MemoryFileSystem(max_open_files=2)
+        layout = generator.create_file_system(fs)
+        runner = RealRunner(
+            fs,
+            SessionGenerator(
+                paper_user_type("t"), layout, RandomStreams(2), user_id=0,
+            ),
+            UsageLog(),
+        )
+        with pytest.raises(TooManyOpenFilesError):
+            runner.run_sessions(20)
+
+
+class TestEmptyAndDegenerateLayouts:
+    def test_user_with_no_candidate_files_still_runs(self):
+        """Categories with empty pools are skipped, not crashed on."""
+        spec = paper_workload_spec(n_users=1, total_files=9, seed=3)
+        generator = WorkloadGenerator(spec)
+        result = generator.run_real(MemoryFileSystem(), sessions_per_user=3)
+        assert len(result.log.sessions) == 3
+
+    def test_single_file_system(self):
+        spec = paper_workload_spec(n_users=1, total_files=1, seed=3)
+        result = WorkloadGenerator(spec).run_real(
+            MemoryFileSystem(), sessions_per_user=2
+        )
+        assert len(result.log.sessions) == 2
+
+    def test_many_users_few_files(self):
+        spec = paper_workload_spec(n_users=6, total_files=12, seed=4)
+        result = WorkloadGenerator(spec).run_simulated(sessions_per_user=1)
+        assert len(result.log.sessions) == 6
+
+    def test_missing_file_raises_cleanly(self):
+        """Deleting a layout file behind the USIM's back yields ENOENT."""
+        spec = paper_workload_spec(n_users=1, total_files=100, seed=5)
+        generator = WorkloadGenerator(spec)
+        fs = MemoryFileSystem()
+        layout = generator.create_file_system(fs)
+        # Sabotage: remove every read-only user file.
+        for record in layout.files:
+            if record.category_key == "REG:USER:RDONLY":
+                fs.unlink(record.path)
+        runner = RealRunner(
+            fs,
+            SessionGenerator(
+                paper_user_type("t"), layout, RandomStreams(5), user_id=0,
+            ),
+            UsageLog(),
+        )
+        with pytest.raises(NoSuchFileError):
+            runner.run_sessions(10)
+
+
+class TestSimulatedFailurePropagation:
+    def test_store_error_propagates_through_des(self):
+        """Server-side ENOENT surfaces from the simulated client stack."""
+        from repro.nfs import FileServer, NetworkLink, NfsClient, SUN_NFS_TIMING
+        from repro.sim import Engine
+        from repro.vfs import OpenFlags
+
+        engine = Engine()
+        server = FileServer(engine, SUN_NFS_TIMING)
+        client = NfsClient(engine, server,
+                           NetworkLink(engine, SUN_NFS_TIMING.network))
+
+        def workload():
+            yield from client.open("/ghost", OpenFlags.RDONLY)
+
+        engine.spawn(workload())
+        with pytest.raises(NoSuchFileError):
+            engine.run()
+        # No resources may be leaked by the failed call.
+        assert server.cpu.in_use == 0

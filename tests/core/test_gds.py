@@ -1,0 +1,141 @@
+"""Unit tests for the Distribution Specifier (GDS) and plotting."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributionSpecifier
+from repro.core.plotting import render_histogram, render_pdf, render_series, sparkline
+from repro.distributions import (
+    DistributionError,
+    MultiStageGamma,
+    PhaseTypeExponential,
+    ShiftedExponential,
+)
+
+
+class TestDistributionSpecifier:
+    def test_specify_and_get(self):
+        gds = DistributionSpecifier()
+        dist = ShiftedExponential(1024.0)
+        gds.specify("access-size", dist)
+        assert gds.get("access-size") is dist
+        assert "access-size" in gds
+        assert len(gds) == 1
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(DistributionError):
+            DistributionSpecifier().get("nope")
+
+    def test_specify_pdf_values(self):
+        gds = DistributionSpecifier()
+        gds.specify_pdf_values("tri", [0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        assert gds.get("tri").mean() == pytest.approx(1.0)
+
+    def test_specify_cdf_values(self):
+        gds = DistributionSpecifier()
+        gds.specify_cdf_values("uni", [0.0, 10.0], [0.0, 1.0])
+        assert gds.get("uni").mean() == pytest.approx(5.0)
+
+    def test_fit_families(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(10.0, size=3000)
+        gds = DistributionSpecifier()
+        result = gds.fit("exp-fit", samples, family="exponential", n_phases=1)
+        assert result.ks_statistic < 0.05
+        assert "exp-fit" in gds
+        result = gds.fit("gamma-fit", samples, family="gamma", n_phases=1)
+        assert "gamma-fit" in gds
+        result = gds.fit("auto-fit", samples, family="auto", n_phases=2)
+        assert result.ks_statistic < 0.05
+
+    def test_fit_unknown_family(self):
+        with pytest.raises(DistributionError):
+            DistributionSpecifier().fit("x", [1.0, 2.0], family="weibull")
+
+    def test_table_is_cached(self):
+        gds = DistributionSpecifier(table_points=65)
+        gds.specify("d", ShiftedExponential(2.0))
+        assert gds.table("d") is gds.table("d")
+
+    def test_table_invalidated_on_respecify(self):
+        gds = DistributionSpecifier(table_points=65)
+        gds.specify("d", ShiftedExponential(2.0))
+        first = gds.table("d")
+        gds.specify("d", ShiftedExponential(9.0))
+        second = gds.table("d")
+        assert first is not second
+        assert second.mean() > first.mean()
+
+    def test_tables_covers_all_names(self):
+        gds = DistributionSpecifier(table_points=65)
+        gds.specify("a", ShiftedExponential(1.0))
+        gds.specify("b", ShiftedExponential(2.0))
+        assert set(gds.tables()) == {"a", "b"}
+
+    def test_table_sampling_matches_distribution(self):
+        gds = DistributionSpecifier(table_points=1025, coverage=0.9999)
+        dist = PhaseTypeExponential([0.5, 0.5], [10.0, 40.0], [0.0, 50.0])
+        gds.specify("mix", dist)
+        draws = gds.table("mix").sample(np.random.default_rng(1), size=50_000)
+        assert np.mean(draws) == pytest.approx(dist.mean(), rel=0.03)
+
+    def test_memory_report(self):
+        gds = DistributionSpecifier(table_points=129)
+        gds.specify("a", ShiftedExponential(1.0))
+        gds.specify("b", ShiftedExponential(2.0))
+        report = gds.memory_report()
+        assert report["TOTAL"] == report["a"] + report["b"]
+        assert report["a"] == 129 * 16
+
+    def test_render_contains_name(self):
+        gds = DistributionSpecifier()
+        gds.specify("my-dist", ShiftedExponential(5.0))
+        out = gds.render("my-dist")
+        assert "my-dist" in out
+        assert "pdf" in out
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            DistributionSpecifier(table_points=2)
+        with pytest.raises(DistributionError):
+            DistributionSpecifier(coverage=1.5)
+        with pytest.raises(DistributionError):
+            DistributionSpecifier().specify("", ShiftedExponential(1.0))
+
+
+class TestPlotting:
+    def test_sparkline_scales(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == " "
+        assert line[-1] == "█"
+
+    def test_sparkline_empty_and_zero(self):
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_render_series_shape(self):
+        out = render_series([0, 1, 2, 3], [0, 1, 2, 3], height=5, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 1 + 5 + 2  # title + rows + axis + range
+
+    def test_render_series_validation(self):
+        with pytest.raises(ValueError):
+            render_series([1], [1, 2])
+        with pytest.raises(ValueError):
+            render_series([1, 2], [1, 2], height=1)
+
+    def test_render_series_all_zero(self):
+        out = render_series([0, 1], [0, 0])
+        assert "all-zero" in out
+
+    def test_render_pdf_multi_stage(self):
+        dist = MultiStageGamma([0.7, 0.3], [1.3, 1.5], [12.3, 12.4],
+                               [0.0, 23.0])
+        out = render_pdf(dist, n_points=40, height=6)
+        assert "pdf" in out
+
+    def test_render_histogram(self):
+        out = render_histogram([1, 2, 3], [5, 1, 3], title="H")
+        assert out.startswith("H")

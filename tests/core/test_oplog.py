@@ -1,0 +1,120 @@
+"""Unit tests for the usage log and its text round-trip."""
+
+import pytest
+
+from repro.core import OpRecord, SessionRecord, UsageLog
+
+
+def op(kind="read", size=100, user=0, session=0, response=12.5):
+    return OpRecord(
+        user_id=user,
+        user_type="heavy",
+        session_id=session,
+        op=kind,
+        path="/user00/f",
+        category_key="REG:USER:RDONLY",
+        size=size,
+        start_us=1.0,
+        response_us=response,
+    )
+
+
+def session(user=0, session_id=0, files=3, accessed=1000, referenced=500):
+    return SessionRecord(
+        user_id=user,
+        user_type="heavy",
+        session_id=session_id,
+        start_us=0.0,
+        end_us=100.0,
+        files_referenced=files,
+        bytes_accessed=accessed,
+        file_bytes_referenced=referenced,
+        categories=("REG:USER:RDONLY", "DIR:USER:RDONLY"),
+    )
+
+
+class TestRecords:
+    def test_op_roundtrip(self):
+        record = op()
+        assert OpRecord.from_line(record.to_line()) == record
+
+    def test_session_roundtrip(self):
+        record = session()
+        assert SessionRecord.from_line(record.to_line()) == record
+
+    def test_session_derived_measures(self):
+        record = session(files=4, accessed=2000, referenced=1000)
+        assert record.access_per_byte == pytest.approx(2.0)
+        assert record.mean_file_size == pytest.approx(250.0)
+        assert record.duration_us == 100.0
+
+    def test_session_zero_guards(self):
+        record = session(files=0, accessed=0, referenced=0)
+        assert record.access_per_byte == 0.0
+        assert record.mean_file_size == 0.0
+
+    def test_bad_lines_rejected(self):
+        with pytest.raises(ValueError):
+            OpRecord.from_line("SESSION\tnot-an-op")
+        with pytest.raises(ValueError):
+            SessionRecord.from_line("OP\tnot-a-session")
+
+    def test_empty_categories_roundtrip(self):
+        record = SessionRecord(
+            user_id=0, user_type="t", session_id=0, start_us=0.0,
+            end_us=1.0, files_referenced=0, bytes_accessed=0,
+            file_bytes_referenced=0, categories=(),
+        )
+        assert SessionRecord.from_line(record.to_line()).categories == ()
+
+
+class TestUsageLog:
+    def make_log(self):
+        log = UsageLog()
+        log.record_op(op("open", size=0))
+        log.record_op(op("read", size=100))
+        log.record_op(op("write", size=50))
+        log.record_op(op("close", size=0))
+        log.record_session(session())
+        return log
+
+    def test_data_ops_filter(self):
+        log = self.make_log()
+        assert [o.op for o in log.data_ops()] == ["read", "write"]
+
+    def test_ops_of(self):
+        log = self.make_log()
+        assert len(list(log.ops_of("open", "close"))) == 2
+
+    def test_total_bytes(self):
+        assert self.make_log().total_bytes == 150
+
+    def test_total_response(self):
+        assert self.make_log().total_response_us == pytest.approx(50.0)
+
+    def test_sessions_of_user(self):
+        log = self.make_log()
+        log.record_session(session(user=5))
+        assert len(log.sessions_of_user(0)) == 1
+        assert len(log.sessions_of_user(5)) == 1
+
+    def test_dump_load_roundtrip(self):
+        log = self.make_log()
+        restored = UsageLog.loads(log.dumps())
+        assert restored.operations == log.operations
+        assert restored.sessions == log.sessions
+
+    def test_load_skips_blank_lines(self):
+        log = UsageLog.loads("\n" + self.make_log().dumps() + "\n\n")
+        assert len(log.operations) == 4
+
+    def test_load_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            UsageLog.loads("GARBAGE\tline\n")
+
+    def test_extend(self):
+        a = self.make_log()
+        b = self.make_log()
+        a.extend(b)
+        assert len(a.operations) == 8
+        assert len(a.sessions) == 2

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) on session op-stream invariants.
+
+These are the thesis's logical constraints (section 3.1.4) checked over
+arbitrary seeds, user ids and access patterns: whatever the random draws,
+an operation stream must be a well-formed sequence of system calls.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FileSystemCreator, SessionGenerator, paper_user_type
+from repro.core.datasets import paper_workload_spec
+from repro.distributions import RandomStreams
+from repro.vfs import MemoryFileSystem
+
+_SPEC = paper_workload_spec(n_users=3, total_files=120, seed=99)
+_LAYOUT = FileSystemCreator(_SPEC).create(MemoryFileSystem())
+
+
+def make_session(seed, user_id, pattern, think, session_id=0):
+    generator = SessionGenerator(
+        paper_user_type("t", think_time_mean_us=think),
+        _LAYOUT,
+        RandomStreams(seed),
+        user_id=user_id,
+        access_pattern=pattern,
+    )
+    return list(generator.generate_session(session_id))
+
+
+session_params = {
+    "seed": st.integers(min_value=0, max_value=10_000),
+    "user_id": st.integers(min_value=0, max_value=2),
+    "pattern": st.sampled_from(["sequential", "random"]),
+    "think": st.sampled_from([0.0, 5000.0, 20000.0]),
+}
+
+
+@given(**session_params)
+@settings(max_examples=30, deadline=None)
+def test_stream_is_well_formed(seed, user_id, pattern, think):
+    """Every data op happens on an open file; every open is closed."""
+    open_plans = set()
+    for op in make_session(seed, user_id, pattern, think):
+        if op.kind in ("open", "creat"):
+            assert op.plan_id not in open_plans
+            open_plans.add(op.plan_id)
+        elif op.kind in ("read", "write", "lseek"):
+            assert op.plan_id in open_plans
+        elif op.kind == "close":
+            open_plans.remove(op.plan_id)
+    assert open_plans == set()
+
+
+@given(**session_params)
+@settings(max_examples=30, deadline=None)
+def test_stream_is_executable(seed, user_id, pattern, think):
+    """The stream replays cleanly against a fresh copy of the layout."""
+    from repro.core import RealRunner, UsageLog
+
+    fs = MemoryFileSystem()
+    layout = FileSystemCreator(_SPEC).create(fs)
+    generator = SessionGenerator(
+        paper_user_type("t", think_time_mean_us=think),
+        layout,
+        RandomStreams(seed),
+        user_id=user_id,
+        access_pattern=pattern,
+    )
+    log = UsageLog()
+    RealRunner(fs, generator, log).run_sessions(1)
+    assert len(log.sessions) == 1
+    assert all(op.response_us >= 0 for op in log.operations)
+    # No descriptor leaks across a session.
+    assert fs.open_descriptor_count == 0
+
+
+@given(**session_params)
+@settings(max_examples=30, deadline=None)
+def test_sizes_nonnegative_and_bounded(seed, user_id, pattern, think):
+    """Chunk sizes are positive; think times are non-negative."""
+    for op in make_session(seed, user_id, pattern, think):
+        if op.kind in ("read", "write"):
+            assert op.size >= 1
+        elif op.kind == "think":
+            assert op.size >= 0
+            if think == 0.0:
+                assert op.size == 0
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_streams_deterministic(seed):
+    a = make_session(seed, 0, "sequential", 5000.0)
+    b = make_session(seed, 0, "sequential", 5000.0)
+    assert a == b
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       sid=st.integers(min_value=0, max_value=5))
+@settings(max_examples=20, deadline=None)
+def test_created_paths_unique_within_session(seed, sid):
+    """NEW/TEMP file names never collide inside a session."""
+    ops = make_session(seed, 1, "sequential", 5000.0, session_id=sid)
+    created = [op.path for op in ops if op.kind == "creat"]
+    assert len(created) == len(set(created))

@@ -1,0 +1,128 @@
+"""Unit tests for Simpson-rule CDF tabulation and inverse sampling."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    CdfTable,
+    Constant,
+    DistributionError,
+    MultiStageGamma,
+    PhaseTypeExponential,
+    ShiftedExponential,
+    ShiftedGamma,
+    Uniform,
+    simpson_cdf,
+)
+
+
+class TestSimpsonCdf:
+    def test_uniform_density(self):
+        xs, cdf = simpson_cdf(lambda x: np.full_like(x, 0.1), 0.0, 10.0, 101)
+        np.testing.assert_allclose(cdf, xs / 10.0, atol=1e-12)
+
+    def test_exponential_density_high_accuracy(self):
+        dist = ShiftedExponential(2.0)
+        xs, cdf = simpson_cdf(lambda x: np.asarray(dist.pdf(x)), 0.0, 40.0, 401)
+        np.testing.assert_allclose(cdf, np.asarray(dist.cdf(xs)) / dist.cdf(40.0), atol=1e-6)
+
+    def test_even_point_count_uses_trapezoid_tail(self):
+        xs, cdf = simpson_cdf(lambda x: np.full_like(x, 0.5), 0.0, 2.0, 100)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_rejects_tiny_tables(self):
+        with pytest.raises(DistributionError):
+            simpson_cdf(lambda x: np.ones_like(x), 0.0, 1.0, 2)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(DistributionError):
+            simpson_cdf(lambda x: np.ones_like(x), 1.0, 1.0)
+        with pytest.raises(DistributionError):
+            simpson_cdf(lambda x: np.ones_like(x), 0.0, np.inf)
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(DistributionError):
+            simpson_cdf(lambda x: -np.ones_like(x), 0.0, 1.0)
+
+    def test_rejects_zero_density(self):
+        with pytest.raises(DistributionError):
+            simpson_cdf(lambda x: np.zeros_like(x), 0.0, 1.0)
+
+    def test_quadratic_density_exact(self):
+        # Simpson is exact for polynomials up to cubic.
+        xs, cdf = simpson_cdf(lambda x: 3.0 * x**2, 0.0, 1.0, 11)
+        np.testing.assert_allclose(cdf[::2], xs[::2] ** 3, atol=1e-12)
+
+
+class TestCdfTable:
+    def test_from_distribution_mean(self):
+        dist = ShiftedGamma(2.0, 100.0, offset=50.0)
+        table = CdfTable.from_distribution(dist, n_points=1025, coverage=0.99999)
+        assert table.mean() == pytest.approx(dist.mean(), rel=0.01)
+
+    def test_inverse_sampling_matches_distribution(self):
+        dist = PhaseTypeExponential([0.6, 0.4], [10.0, 30.0], [0.0, 20.0])
+        table = CdfTable.from_distribution(dist, n_points=2049)
+        draws = table.sample(np.random.default_rng(2), size=100_000)
+        assert np.mean(draws) == pytest.approx(dist.mean(), rel=0.03)
+
+    def test_quantile_roundtrip(self):
+        dist = ShiftedExponential(5.0)
+        table = CdfTable.from_distribution(dist, n_points=513)
+        for q in (0.1, 0.5, 0.9):
+            x = table.quantile(q)
+            assert table.cdf(x) == pytest.approx(q, abs=1e-6)
+
+    def test_quantile_rejects_out_of_range(self):
+        table = CdfTable([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(DistributionError):
+            table.quantile(1.5)
+        with pytest.raises(DistributionError):
+            table.quantile(-0.1)
+
+    def test_from_samples_ecdf(self):
+        data = np.arange(1, 101, dtype=float)
+        table = CdfTable.from_samples(data, n_points=101)
+        assert table.cdf(50.0) == pytest.approx(0.5, abs=0.02)
+        assert table.mean() == pytest.approx(np.mean(data), rel=0.03)
+
+    def test_validation_rejects_non_monotone_xs(self):
+        with pytest.raises(DistributionError):
+            CdfTable([0.0, 0.0, 1.0], [0.0, 0.5, 1.0])
+
+    def test_validation_rejects_decreasing_cdf(self):
+        with pytest.raises(DistributionError):
+            CdfTable([0.0, 0.5, 1.0], [0.0, 0.7, 0.6])
+
+    def test_validation_rejects_bad_endpoints(self):
+        with pytest.raises(DistributionError):
+            CdfTable([0.0, 1.0], [0.2, 1.0])
+        with pytest.raises(DistributionError):
+            CdfTable([0.0, 1.0], [0.0, 0.9])
+
+    def test_memory_bytes_grows_with_points(self):
+        dist = Uniform(0.0, 1.0)
+        small = CdfTable.from_distribution(dist, n_points=65)
+        big = CdfTable.from_distribution(dist, n_points=1025)
+        assert big.memory_bytes > small.memory_bytes
+        assert small.memory_bytes == 65 * 8 * 2
+
+    def test_constant_distribution_tabulates(self):
+        table = CdfTable.from_distribution(Uniform(5.0, 5.5), n_points=33)
+        draws = table.sample(np.random.default_rng(0), size=100)
+        assert np.all((draws >= 5.0) & (draws <= 5.5))
+
+    def test_constant_quantile_range(self):
+        c = Constant(7.0)
+        assert c.quantile_range() == (7.0, 7.0)
+
+    def test_sample_scalar(self):
+        table = CdfTable([0.0, 1.0], [0.0, 1.0])
+        value = table.sample(np.random.default_rng(1))
+        assert isinstance(value, float)
+        assert 0.0 <= value <= 1.0
+
+    def test_repr_mentions_range(self):
+        table = CdfTable([2.0, 4.0], [0.0, 1.0])
+        assert "2" in repr(table) and "4" in repr(table)

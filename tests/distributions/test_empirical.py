@@ -1,0 +1,130 @@
+"""Unit tests for tabulated and empirical distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    DistributionError,
+    EmpiricalDistribution,
+    TabulatedCdf,
+    TabulatedPdf,
+)
+
+
+class TestTabulatedPdf:
+    def test_triangle_density(self):
+        xs = [0.0, 1.0, 2.0]
+        dist = TabulatedPdf(xs, [0.0, 1.0, 0.0])
+        assert dist.pdf(1.0) == pytest.approx(1.0)
+        assert dist.cdf(1.0) == pytest.approx(0.5)
+        assert dist.mean() == pytest.approx(1.0)
+
+    def test_unnormalised_input_is_normalised(self):
+        dist = TabulatedPdf([0.0, 1.0], [5.0, 5.0])
+        assert dist.pdf(0.5) == pytest.approx(1.0)
+
+    def test_pdf_zero_outside_support(self):
+        dist = TabulatedPdf([1.0, 2.0], [1.0, 1.0])
+        assert dist.pdf(0.5) == 0.0
+        assert dist.pdf(2.5) == 0.0
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(2.5) == 1.0
+
+    def test_sampling_within_support(self):
+        dist = TabulatedPdf([3.0, 4.0, 5.0], [1.0, 2.0, 1.0])
+        draws = dist.sample(np.random.default_rng(0), size=1000)
+        assert np.all((draws >= 3.0) & (draws <= 5.0))
+
+    def test_sample_mean_close_to_analytic(self):
+        dist = TabulatedPdf([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        draws = dist.sample(np.random.default_rng(1), size=100_000)
+        assert np.mean(draws) == pytest.approx(1.0, abs=0.01)
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(DistributionError):
+            TabulatedPdf([0.0, 1.0], [1.0, -1.0])
+
+    def test_rejects_zero_area(self):
+        with pytest.raises(DistributionError):
+            TabulatedPdf([0.0, 1.0], [0.0, 0.0])
+
+    def test_rejects_unsorted_grid(self):
+        with pytest.raises(DistributionError):
+            TabulatedPdf([1.0, 0.0], [1.0, 1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DistributionError):
+            TabulatedPdf([0.0, 1.0, 2.0], [1.0, 1.0])
+
+
+class TestTabulatedCdf:
+    def test_uniform_cdf(self):
+        dist = TabulatedCdf([0.0, 10.0], [0.0, 1.0])
+        assert dist.cdf(5.0) == pytest.approx(0.5)
+        assert dist.pdf(5.0) == pytest.approx(0.1)
+        assert dist.mean() == pytest.approx(5.0)
+        assert dist.var() == pytest.approx(100.0 / 12.0)
+
+    def test_rescales_unnormalised_cdf(self):
+        dist = TabulatedCdf([0.0, 1.0, 2.0], [10.0, 30.0, 50.0])
+        assert dist.cdf(0.0) == 0.0
+        assert dist.cdf(2.0) == 1.0
+        assert dist.cdf(1.0) == pytest.approx(0.5)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(DistributionError):
+            TabulatedCdf([0.0, 1.0, 2.0], [0.0, 0.8, 0.7])
+
+    def test_rejects_flat(self):
+        with pytest.raises(DistributionError):
+            TabulatedCdf([0.0, 1.0], [0.3, 0.3])
+
+    def test_sampling_quantiles(self):
+        dist = TabulatedCdf([0.0, 1.0], [0.0, 1.0])
+        draws = dist.sample(np.random.default_rng(2), size=50_000)
+        assert np.quantile(draws, 0.5) == pytest.approx(0.5, abs=0.02)
+
+    def test_pdf_outside_support(self):
+        dist = TabulatedCdf([1.0, 2.0], [0.0, 1.0])
+        assert dist.pdf(0.0) == 0.0
+        assert dist.pdf(3.0) == 0.0
+
+
+class TestEmpiricalDistribution:
+    def test_moments_match_data(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        dist = EmpiricalDistribution(data)
+        assert dist.mean() == pytest.approx(3.0)
+        assert dist.var() == pytest.approx(2.0)
+
+    def test_cdf_is_step_ecdf(self):
+        dist = EmpiricalDistribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.cdf(2.5) == pytest.approx(0.5)
+        assert dist.cdf(0.0) == 0.0
+        assert dist.cdf(10.0) == 1.0
+
+    def test_samples_are_bootstrap_draws(self):
+        data = [10.0, 20.0, 30.0]
+        dist = EmpiricalDistribution(data)
+        draws = dist.sample(np.random.default_rng(3), size=200)
+        assert set(np.unique(draws)).issubset(set(data))
+
+    def test_degenerate_data(self):
+        dist = EmpiricalDistribution([5.0, 5.0, 5.0])
+        assert dist.mean() == 5.0
+        assert dist.sample(np.random.default_rng(4)) == 5.0
+
+    def test_pdf_integrates_to_about_one(self):
+        rng = np.random.default_rng(5)
+        dist = EmpiricalDistribution(rng.normal(0, 1, size=5000), bins=40)
+        xs = np.linspace(-6, 6, 2001)
+        area = np.trapezoid(np.asarray(dist.pdf(xs)), xs)
+        assert area == pytest.approx(1.0, abs=0.02)
+
+    def test_rejects_bins_below_one(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([1.0, 2.0], bins=0)
+
+    def test_support(self):
+        dist = EmpiricalDistribution([3.0, 9.0, 6.0])
+        assert dist.support() == (3.0, 9.0)

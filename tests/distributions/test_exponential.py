@@ -1,0 +1,159 @@
+"""Unit tests for shifted and phase-type exponential distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    DistributionError,
+    PhaseTypeExponential,
+    ShiftedExponential,
+)
+
+RNG = np.random.default_rng(1234)
+
+
+class TestShiftedExponential:
+    def test_pdf_at_origin(self):
+        dist = ShiftedExponential(scale=2.0)
+        assert dist.pdf(0.0) == pytest.approx(0.5)
+
+    def test_pdf_zero_below_offset(self):
+        dist = ShiftedExponential(scale=2.0, offset=5.0)
+        assert dist.pdf(4.999) == 0.0
+        assert dist.pdf(-10.0) == 0.0
+
+    def test_pdf_decays(self):
+        dist = ShiftedExponential(scale=1.0)
+        assert dist.pdf(0.0) > dist.pdf(1.0) > dist.pdf(2.0)
+
+    def test_cdf_limits(self):
+        dist = ShiftedExponential(scale=3.0, offset=1.0)
+        assert dist.cdf(1.0) == pytest.approx(0.0)
+        assert dist.cdf(1e6) == pytest.approx(1.0)
+
+    def test_cdf_median(self):
+        dist = ShiftedExponential(scale=1.0)
+        assert dist.cdf(np.log(2.0)) == pytest.approx(0.5)
+
+    def test_mean_and_var(self):
+        dist = ShiftedExponential(scale=4.0, offset=2.0)
+        assert dist.mean() == pytest.approx(6.0)
+        assert dist.var() == pytest.approx(16.0)
+        assert dist.std() == pytest.approx(4.0)
+
+    def test_sample_scalar_and_vector(self):
+        dist = ShiftedExponential(scale=1.0, offset=3.0)
+        scalar = dist.sample(RNG)
+        assert np.isscalar(scalar) or np.ndim(scalar) == 0
+        vec = dist.sample(RNG, size=100)
+        assert vec.shape == (100,)
+        assert np.all(vec >= 3.0)
+
+    def test_sample_mean_converges(self):
+        dist = ShiftedExponential(scale=5.0, offset=1.0)
+        draws = dist.sample(np.random.default_rng(7), size=200_000)
+        assert np.mean(draws) == pytest.approx(6.0, rel=0.02)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(DistributionError):
+            ShiftedExponential(scale=0.0)
+        with pytest.raises(DistributionError):
+            ShiftedExponential(scale=-1.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(DistributionError):
+            ShiftedExponential(scale=np.inf)
+        with pytest.raises(DistributionError):
+            ShiftedExponential(scale=1.0, offset=np.nan)
+
+    def test_support(self):
+        dist = ShiftedExponential(scale=1.0, offset=2.5)
+        lo, hi = dist.support()
+        assert lo == 2.5
+        assert hi == np.inf
+
+    def test_quantile_range_covers_mass(self):
+        dist = ShiftedExponential(scale=10.0)
+        lo, hi = dist.quantile_range(0.999)
+        assert dist.cdf(hi) >= 0.999
+        assert lo == 0.0
+
+    def test_equality(self):
+        assert ShiftedExponential(1.0, 2.0) == ShiftedExponential(1.0, 2.0)
+        assert ShiftedExponential(1.0) != ShiftedExponential(2.0)
+
+
+class TestPhaseTypeExponential:
+    def make_fig_5_1(self):
+        """Third panel of Figure 5.1."""
+        return PhaseTypeExponential(
+            weights=[0.4, 0.3, 0.3],
+            scales=[12.7, 18.2, 24.5],
+            offsets=[0.0, 18.0, 41.0],
+        )
+
+    def test_single_phase_matches_shifted(self):
+        mix = PhaseTypeExponential([1.0], [3.0], [1.0])
+        single = ShiftedExponential(3.0, 1.0)
+        xs = np.linspace(0, 20, 101)
+        np.testing.assert_allclose(mix.pdf(xs), single.pdf(xs))
+        np.testing.assert_allclose(mix.cdf(xs), single.cdf(xs))
+
+    def test_pdf_integrates_to_one(self):
+        dist = self.make_fig_5_1()
+        xs = np.linspace(0, 600, 60_001)
+        area = np.trapezoid(dist.pdf(xs), xs)
+        assert area == pytest.approx(1.0, abs=1e-3)
+
+    def test_mean_formula(self):
+        dist = PhaseTypeExponential([0.5, 0.5], [2.0, 4.0], [0.0, 10.0])
+        assert dist.mean() == pytest.approx(0.5 * 2.0 + 0.5 * 14.0)
+
+    def test_var_matches_monte_carlo(self):
+        dist = self.make_fig_5_1()
+        draws = dist.sample(np.random.default_rng(11), size=300_000)
+        assert dist.mean() == pytest.approx(np.mean(draws), rel=0.02)
+        assert dist.var() == pytest.approx(np.var(draws), rel=0.05)
+
+    def test_cdf_monotone(self):
+        dist = self.make_fig_5_1()
+        xs = np.linspace(-5, 300, 1000)
+        cdf = dist.cdf(xs)
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_sample_respects_min_offset(self):
+        dist = PhaseTypeExponential([0.5, 0.5], [1.0, 1.0], [5.0, 9.0])
+        draws = dist.sample(RNG, size=1000)
+        assert np.all(draws >= 5.0)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(DistributionError):
+            PhaseTypeExponential([0.5, 0.4], [1.0, 1.0])
+
+    def test_weights_renormalised_within_tolerance(self):
+        dist = PhaseTypeExponential([0.5, 0.5 + 1e-9], [1.0, 2.0])
+        assert dist.weights.sum() == pytest.approx(1.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(DistributionError):
+            PhaseTypeExponential([1.0], [1.0, 2.0])
+        with pytest.raises(DistributionError):
+            PhaseTypeExponential([0.5, 0.5], [1.0, 2.0], [0.0])
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(DistributionError):
+            PhaseTypeExponential([1.5, -0.5], [1.0, 1.0])
+
+    def test_n_phases(self):
+        assert self.make_fig_5_1().n_phases == 3
+
+    def test_scalar_pdf_returns_float(self):
+        dist = self.make_fig_5_1()
+        assert isinstance(dist.pdf(10.0), float)
+        assert isinstance(dist.cdf(10.0), float)
+
+    def test_figure_5_1_first_panel(self):
+        """f(x) = exp(22.1, x): a plain exponential with mean 22.1."""
+        dist = PhaseTypeExponential([1.0], [22.1])
+        assert dist.pdf(0.0) == pytest.approx(1.0 / 22.1)
+        assert dist.mean() == pytest.approx(22.1)

@@ -1,0 +1,149 @@
+"""Unit tests for distribution fitting and KS goodness-of-fit."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    DistributionError,
+    MultiStageGamma,
+    PhaseTypeExponential,
+    ShiftedExponential,
+    ShiftedGamma,
+    Uniform,
+    fit_best,
+    fit_multi_stage_gamma,
+    fit_phase_type_exponential,
+    fit_shifted_exponential,
+    fit_shifted_gamma,
+    ks_distance,
+    ks_test,
+)
+
+
+class TestKolmogorovSmirnov:
+    def test_distance_zero_for_own_quantiles(self):
+        dist = ShiftedExponential(1.0)
+        # Plug in the exact quantiles: KS distance is the 1/(2n) grid error.
+        n = 1000
+        qs = (np.arange(n) + 0.5) / n
+        samples = -np.log(1.0 - qs)
+        assert ks_distance(samples, dist) <= 0.5 / n + 1e-9
+
+    def test_distance_large_for_wrong_distribution(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(1.0, size=2000)
+        assert ks_distance(samples, Uniform(0.0, 1.0)) > 0.2
+
+    def test_ks_test_accepts_true_distribution(self):
+        rng = np.random.default_rng(1)
+        dist = ShiftedExponential(3.0)
+        samples = dist.sample(rng, size=500)
+        stat, p = ks_test(samples, dist)
+        assert p > 0.01
+        assert stat < 0.1
+
+    def test_ks_test_rejects_wrong_distribution(self):
+        rng = np.random.default_rng(2)
+        samples = rng.gamma(9.0, 1.0, size=2000)
+        stat, p = ks_test(samples, ShiftedExponential(9.0))
+        assert p < 0.001
+
+
+class TestFitShiftedExponential:
+    def test_recovers_parameters(self):
+        rng = np.random.default_rng(3)
+        truth = ShiftedExponential(scale=7.0, offset=2.0)
+        fit = fit_shifted_exponential(truth.sample(rng, size=50_000))
+        assert fit.distribution.scale == pytest.approx(7.0, rel=0.05)
+        assert fit.distribution.offset == pytest.approx(2.0, abs=0.05)
+        assert fit.ks_statistic < 0.02
+
+    def test_fixed_offset(self):
+        rng = np.random.default_rng(4)
+        samples = rng.exponential(5.0, size=10_000)
+        fit = fit_shifted_exponential(samples, offset=0.0)
+        assert fit.distribution.offset == 0.0
+        assert fit.distribution.scale == pytest.approx(5.0, rel=0.05)
+
+    def test_rejects_offset_above_samples(self):
+        with pytest.raises(DistributionError):
+            fit_shifted_exponential([1.0, 2.0, 3.0], offset=5.0)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(DistributionError):
+            fit_shifted_exponential([1.0])
+
+
+class TestFitPhaseType:
+    def test_two_phase_recovery(self):
+        truth = PhaseTypeExponential([0.5, 0.5], [5.0, 5.0], [0.0, 100.0])
+        rng = np.random.default_rng(5)
+        samples = truth.sample(rng, size=30_000)
+        fit = fit_phase_type_exponential(samples, n_phases=2, offsets=[0.0, 100.0])
+        assert fit.ks_statistic < 0.02
+        assert fit.distribution.mean() == pytest.approx(truth.mean(), rel=0.05)
+
+    def test_one_phase_delegates(self):
+        rng = np.random.default_rng(6)
+        samples = rng.exponential(2.0, size=5000)
+        fit = fit_phase_type_exponential(samples, n_phases=1)
+        assert isinstance(fit.distribution, ShiftedExponential)
+
+    def test_auto_offsets_fit_bimodal(self):
+        truth = PhaseTypeExponential([0.6, 0.4], [3.0, 8.0], [0.0, 50.0])
+        rng = np.random.default_rng(7)
+        samples = truth.sample(rng, size=20_000)
+        fit = fit_phase_type_exponential(samples, n_phases=2)
+        assert fit.distribution.mean() == pytest.approx(truth.mean(), rel=0.1)
+
+    def test_offsets_length_mismatch(self):
+        with pytest.raises(DistributionError):
+            fit_phase_type_exponential([1.0, 2.0, 3.0], n_phases=2, offsets=[0.0])
+
+    def test_nonpositive_phase_count(self):
+        with pytest.raises(DistributionError):
+            fit_phase_type_exponential([1.0, 2.0], n_phases=0)
+
+
+class TestFitGamma:
+    def test_single_gamma_moments(self):
+        truth = ShiftedGamma(shape=4.0, scale=2.0, offset=10.0)
+        rng = np.random.default_rng(8)
+        fit = fit_shifted_gamma(truth.sample(rng, size=50_000), offset=10.0)
+        assert fit.distribution.shape == pytest.approx(4.0, rel=0.05)
+        assert fit.distribution.scale == pytest.approx(2.0, rel=0.05)
+
+    def test_multi_stage_fit_quality(self):
+        truth = MultiStageGamma(
+            [0.7, 0.3], [2.0, 3.0], [5.0, 4.0], [0.0, 60.0]
+        )
+        rng = np.random.default_rng(9)
+        samples = truth.sample(rng, size=30_000)
+        fit = fit_multi_stage_gamma(samples, n_stages=2, offsets=[0.0, 60.0])
+        assert fit.ks_statistic < 0.05
+        assert fit.distribution.mean() == pytest.approx(truth.mean(), rel=0.05)
+
+    def test_one_stage_delegates(self):
+        rng = np.random.default_rng(10)
+        samples = rng.gamma(2.0, 3.0, size=5000)
+        fit = fit_multi_stage_gamma(samples, n_stages=1)
+        assert isinstance(fit.distribution, ShiftedGamma)
+
+
+class TestFitBest:
+    def test_picks_a_good_candidate(self):
+        rng = np.random.default_rng(11)
+        samples = rng.gamma(3.0, 10.0, size=8000)
+        fit = fit_best(samples, max_phases=2)
+        assert fit.ks_statistic < 0.05
+
+    def test_respects_family_restriction(self):
+        rng = np.random.default_rng(12)
+        samples = rng.exponential(1.0, size=2000)
+        fit = fit_best(samples, max_phases=1, families=("exponential",))
+        assert isinstance(fit.distribution, ShiftedExponential)
+
+    def test_describe_mentions_ks(self):
+        rng = np.random.default_rng(13)
+        fit = fit_shifted_exponential(rng.exponential(1.0, size=100))
+        assert "KS=" in fit.describe()

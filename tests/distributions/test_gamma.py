@@ -1,0 +1,116 @@
+"""Unit tests for shifted and multi-stage gamma distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DistributionError, MultiStageGamma, ShiftedGamma
+
+
+class TestShiftedGamma:
+    def test_mean_and_var(self):
+        dist = ShiftedGamma(shape=2.0, scale=3.0, offset=1.0)
+        assert dist.mean() == pytest.approx(7.0)
+        assert dist.var() == pytest.approx(18.0)
+
+    def test_shape_one_is_exponential(self):
+        gamma = ShiftedGamma(shape=1.0, scale=4.0)
+        xs = np.linspace(0, 30, 200)
+        expected = np.exp(-xs / 4.0) / 4.0
+        np.testing.assert_allclose(gamma.pdf(xs), expected, rtol=1e-10)
+
+    def test_pdf_zero_below_offset(self):
+        dist = ShiftedGamma(2.0, 1.0, offset=10.0)
+        assert dist.pdf(9.0) == 0.0
+        assert dist.pdf(10.0) == 0.0  # shape > 1 density vanishes at onset
+
+    def test_shape_one_density_at_onset(self):
+        dist = ShiftedGamma(1.0, 2.0, offset=3.0)
+        assert dist.pdf(3.0) == pytest.approx(0.5)
+
+    def test_pdf_integrates_to_one(self):
+        dist = ShiftedGamma(1.5, 25.4, offset=12.0)  # Figure 5.2 middle panel
+        xs = np.linspace(12, 2000, 100_001)
+        assert np.trapezoid(dist.pdf(xs), xs) == pytest.approx(1.0, abs=1e-4)
+
+    def test_cdf_limits_and_monotone(self):
+        dist = ShiftedGamma(2.0, 10.5)  # Figure 5.2 top panel
+        assert dist.cdf(0.0) == pytest.approx(0.0)
+        assert dist.cdf(1e5) == pytest.approx(1.0)
+        xs = np.linspace(0, 200, 400)
+        assert np.all(np.diff(dist.cdf(xs)) >= 0)
+
+    def test_sampling_moments(self):
+        dist = ShiftedGamma(3.0, 2.0, offset=5.0)
+        draws = dist.sample(np.random.default_rng(3), size=200_000)
+        assert np.mean(draws) == pytest.approx(dist.mean(), rel=0.02)
+        assert np.var(draws) == pytest.approx(dist.var(), rel=0.05)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DistributionError):
+            ShiftedGamma(0.0, 1.0)
+        with pytest.raises(DistributionError):
+            ShiftedGamma(1.0, -2.0)
+        with pytest.raises(DistributionError):
+            ShiftedGamma(1.0, 1.0, offset=np.inf)
+
+    def test_equality_and_hash(self):
+        a = ShiftedGamma(1.5, 2.5, 0.5)
+        b = ShiftedGamma(1.5, 2.5, 0.5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestMultiStageGamma:
+    def make_fig_5_2(self):
+        """Third panel of Figure 5.2."""
+        return MultiStageGamma(
+            weights=[0.7, 0.2, 0.1],
+            shapes=[1.3, 1.5, 1.3],
+            scales=[12.3, 12.4, 12.3],
+            offsets=[0.0, 23.0, 41.0],
+        )
+
+    def test_single_stage_matches_shifted(self):
+        mix = MultiStageGamma([1.0], [2.0], [3.0], [1.0])
+        single = ShiftedGamma(2.0, 3.0, 1.0)
+        xs = np.linspace(0, 40, 101)
+        np.testing.assert_allclose(mix.pdf(xs), single.pdf(xs))
+        np.testing.assert_allclose(mix.cdf(xs), single.cdf(xs))
+
+    def test_pdf_integrates_to_one(self):
+        dist = self.make_fig_5_2()
+        xs = np.linspace(0, 1500, 150_001)
+        assert np.trapezoid(dist.pdf(xs), xs) == pytest.approx(1.0, abs=1e-3)
+
+    def test_mean_matches_monte_carlo(self):
+        dist = self.make_fig_5_2()
+        draws = dist.sample(np.random.default_rng(5), size=300_000)
+        assert dist.mean() == pytest.approx(np.mean(draws), rel=0.02)
+        assert dist.var() == pytest.approx(np.var(draws), rel=0.05)
+
+    def test_cdf_monotone_nondecreasing(self):
+        dist = self.make_fig_5_2()
+        xs = np.linspace(-10, 500, 2000)
+        assert np.all(np.diff(dist.cdf(xs)) >= -1e-12)
+
+    def test_weights_validation(self):
+        with pytest.raises(DistributionError):
+            MultiStageGamma([0.7, 0.7], [1.0, 1.0], [1.0, 1.0])
+        with pytest.raises(DistributionError):
+            MultiStageGamma([1.0, -0.0], [1.0, 1.0], [1.0, 1.0])
+
+    def test_length_validation(self):
+        with pytest.raises(DistributionError):
+            MultiStageGamma([1.0], [1.0, 2.0], [1.0])
+
+    def test_n_stages(self):
+        assert self.make_fig_5_2().n_stages == 3
+
+    def test_support_is_min_offset(self):
+        dist = MultiStageGamma([0.5, 0.5], [1.0, 1.0], [1.0, 1.0], [7.0, 3.0])
+        assert dist.support()[0] == 3.0
+
+    def test_samples_above_min_offset(self):
+        dist = MultiStageGamma([0.5, 0.5], [2.0, 2.0], [1.0, 1.0], [7.0, 3.0])
+        draws = dist.sample(np.random.default_rng(9), size=500)
+        assert np.all(draws >= 3.0)

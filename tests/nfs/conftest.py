@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the simulated-NFS tests."""
+
+import pytest
+
+from repro.nfs import (
+    AfsLikeFileSystem,
+    FileServer,
+    NetworkLink,
+    NfsClient,
+    SUN_NFS_TIMING,
+)
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def server(engine):
+    return FileServer(engine, SUN_NFS_TIMING)
+
+
+@pytest.fixture
+def network(engine):
+    return NetworkLink(engine, SUN_NFS_TIMING.network)
+
+
+@pytest.fixture
+def nfs(engine, server, network):
+    return NfsClient(engine, server, network)
+
+
+@pytest.fixture
+def afs(engine, server, network):
+    return AfsLikeFileSystem(engine, server, network)
+
+
+def run(engine, generator, name="test-proc"):
+    """Spawn a generator, run the engine to completion, return its result."""
+    handle = engine.spawn(generator, name=name)
+    engine.run()
+    if handle.error is not None:  # pragma: no cover - surfaced by engine.run
+        raise handle.error
+    return handle.result

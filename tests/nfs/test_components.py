@@ -1,0 +1,220 @@
+"""Unit tests for network, disk and cache components."""
+
+import pytest
+
+from repro.nfs import (
+    BlockCache,
+    Disk,
+    NetworkLink,
+    WholeFileCache,
+)
+from repro.nfs.timing import DiskParameters, NetworkParameters
+from repro.sim import Engine
+
+from .conftest import run
+
+
+class TestNetworkLink:
+    def test_transfer_time_is_serialisation_plus_latency(self):
+        engine = Engine()
+        link = NetworkLink(
+            engine, NetworkParameters(latency_us=100.0,
+                                      bandwidth_bytes_per_us=2.0)
+        )
+        run(engine, link.transfer(1000))
+        assert engine.now == pytest.approx(1000 / 2.0 + 100.0)
+
+    def test_medium_is_contended(self):
+        engine = Engine()
+        link = NetworkLink(
+            engine, NetworkParameters(latency_us=0.0,
+                                      bandwidth_bytes_per_us=1.0)
+        )
+        done = []
+
+        def sender(tag):
+            yield from link.transfer(100)
+            done.append((tag, engine.now))
+
+        engine.spawn(sender("a"))
+        engine.spawn(sender("b"))
+        engine.run()
+        assert done == [("a", 100.0), ("b", 200.0)]
+
+    def test_zero_byte_message_pays_latency_only(self):
+        engine = Engine()
+        link = NetworkLink(
+            engine, NetworkParameters(latency_us=50.0,
+                                      bandwidth_bytes_per_us=1.0)
+        )
+        run(engine, link.transfer(0))
+        assert engine.now == 50.0
+
+    def test_counters(self):
+        engine = Engine()
+        link = NetworkLink(engine, NetworkParameters())
+        run(engine, link.transfer(64))
+        run(engine, link.transfer(32))
+        assert link.messages_sent == 2
+        assert link.bytes_sent == 96
+
+    def test_negative_payload_rejected(self):
+        engine = Engine()
+        link = NetworkLink(engine, NetworkParameters())
+        with pytest.raises(ValueError):
+            run(engine, link.transfer(-1))
+
+
+class TestDisk:
+    def make(self, engine):
+        return Disk(
+            engine,
+            DiskParameters(positioning_us=1000.0, transfer_bytes_per_us=10.0,
+                           block_bytes=100),
+        )
+
+    def test_random_access_pays_positioning(self):
+        engine = Engine()
+        disk = self.make(engine)
+        run(engine, disk.access("/f", 0, 100))
+        assert engine.now == pytest.approx(1000.0 + 10.0)
+
+    def test_sequential_access_skips_positioning(self):
+        engine = Engine()
+        disk = self.make(engine)
+
+        def workload():
+            yield from disk.access("/f", 0, 100)
+            yield from disk.access("/f", 100, 100)
+
+        run(engine, workload())
+        assert engine.now == pytest.approx(1000.0 + 10.0 + 10.0)
+        assert disk.sequential_accesses == 1
+
+    def test_file_switch_pays_positioning_again(self):
+        engine = Engine()
+        disk = self.make(engine)
+
+        def workload():
+            yield from disk.access("/f", 0, 100)
+            yield from disk.access("/g", 100, 100)
+
+        run(engine, workload())
+        assert engine.now == pytest.approx(2 * (1000.0 + 10.0))
+
+    def test_arm_is_contended(self):
+        engine = Engine()
+        disk = self.make(engine)
+        finishes = []
+
+        def job():
+            yield from disk.access("/f", 0, 100)
+            finishes.append(engine.now)
+
+        engine.spawn(job())
+        engine.spawn(job())
+        engine.run()
+        assert finishes[0] < finishes[1]
+
+    def test_counters(self):
+        engine = Engine()
+        disk = self.make(engine)
+        run(engine, disk.access("/f", 0, 250))
+        assert disk.total_accesses == 1
+        assert disk.bytes_transferred == 250
+
+    def test_negative_size_rejected(self):
+        engine = Engine()
+        disk = self.make(engine)
+        with pytest.raises(ValueError):
+            run(engine, disk.access("/f", 0, -1))
+
+
+class TestBlockCache:
+    def test_miss_then_hit(self):
+        cache = BlockCache(4)
+        assert not cache.lookup("/f", 0)
+        cache.insert("/f", 0)
+        assert cache.lookup("/f", 0)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = BlockCache(2)
+        cache.insert("/f", 0)
+        cache.insert("/f", 1)
+        cache.lookup("/f", 0)      # refresh block 0
+        cache.insert("/f", 2)      # evicts block 1
+        assert cache.lookup("/f", 0)
+        assert not cache.lookup("/f", 1)
+
+    def test_invalidate_file(self):
+        cache = BlockCache(8)
+        cache.insert("/f", 0)
+        cache.insert("/f", 1)
+        cache.insert("/g", 0)
+        cache.invalidate_file("/f")
+        assert not cache.lookup("/f", 0)
+        assert cache.lookup("/g", 0)
+
+    def test_zero_capacity_never_caches(self):
+        cache = BlockCache(0)
+        cache.insert("/f", 0)
+        assert not cache.lookup("/f", 0)
+
+    def test_hit_ratio(self):
+        cache = BlockCache(4)
+        cache.insert("/f", 0)
+        cache.lookup("/f", 0)
+        cache.lookup("/f", 1)
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_reinsert_refreshes(self):
+        cache = BlockCache(2)
+        cache.insert("/a", 0)
+        cache.insert("/b", 0)
+        cache.insert("/a", 0)   # refresh, no eviction
+        cache.insert("/c", 0)   # evicts /b
+        assert cache.lookup("/a", 0)
+        assert not cache.lookup("/b", 0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCache(-1)
+
+
+class TestWholeFileCache:
+    def test_version_validation(self):
+        cache = WholeFileCache(1000)
+        cache.insert("/f", version=1.0, size=100)
+        assert cache.lookup("/f", 1.0)
+        assert not cache.lookup("/f", 2.0)  # stale
+
+    def test_byte_budget_eviction(self):
+        cache = WholeFileCache(250)
+        cache.insert("/a", 1.0, 100)
+        cache.insert("/b", 1.0, 100)
+        cache.insert("/c", 1.0, 100)  # evicts /a
+        assert not cache.lookup("/a", 1.0)
+        assert cache.lookup("/b", 1.0)
+        assert cache.bytes_used == 200
+
+    def test_oversized_file_bypasses(self):
+        cache = WholeFileCache(100)
+        cache.insert("/huge", 1.0, 500)
+        assert not cache.lookup("/huge", 1.0)
+        assert cache.bytes_used == 0
+
+    def test_update_version(self):
+        cache = WholeFileCache(1000)
+        cache.insert("/f", 1.0, 100)
+        cache.update_version("/f", 2.0, 150)
+        assert cache.lookup("/f", 2.0)
+        assert cache.bytes_used == 150
+
+    def test_evict(self):
+        cache = WholeFileCache(1000)
+        cache.insert("/f", 1.0, 100)
+        cache.evict("/f")
+        assert not cache.lookup("/f", 1.0)
+        assert cache.bytes_used == 0

@@ -1,0 +1,165 @@
+"""Unit tests for the file server's RPC procedures and resource hygiene."""
+
+import pytest
+
+from repro.nfs import FileServer, SUN_NFS_TIMING, STRICT_NFSV2_TIMING
+from repro.sim import Engine
+from repro.vfs import NoSuchFileError
+
+from .conftest import run
+
+
+@pytest.fixture
+def server(engine):
+    return FileServer(engine, SUN_NFS_TIMING)
+
+
+class TestRpcProcedures:
+    def test_create_then_getattr(self, engine, server):
+        def workload():
+            created = yield from server.create("/f")
+            stat = yield from server.getattr("/f")
+            return created.inode, stat.inode
+
+        created_inode, stat_inode = run(engine, workload())
+        assert created_inode == stat_inode
+
+    def test_write_then_read(self, engine, server):
+        def workload():
+            yield from server.create("/f")
+            yield from server.write("/f", 0, b"server data")
+            return (yield from server.read("/f", 0, 100))
+
+        assert run(engine, workload()) == b"server data"
+
+    def test_getattr_missing_raises(self, engine, server):
+        def workload():
+            yield from server.getattr("/missing")
+
+        with pytest.raises(NoSuchFileError):
+            run(engine, workload())
+
+    def test_cpu_not_leaked_on_error(self, engine, server):
+        """A failing RPC must not leave the server CPU held."""
+
+        def failing():
+            try:
+                yield from server.getattr("/missing")
+            except NoSuchFileError:
+                pass
+
+        def succeeding():
+            yield from server.create("/ok")
+            return True
+
+        run(engine, failing())
+        assert server.cpu.in_use == 0
+        handle = engine.spawn(succeeding())
+        engine.run()
+        assert handle.result is True
+
+    def test_rpc_count_increments(self, engine, server):
+        def workload():
+            yield from server.create("/f")
+            yield from server.getattr("/f")
+            yield from server.read("/f", 0, 1)
+
+        run(engine, workload())
+        assert server.rpc_count == 3
+
+    def test_remove_invalidates_cache(self, engine, server):
+        def workload():
+            yield from server.create("/f")
+            yield from server.write("/f", 0, b"x" * 100)
+            yield from server.remove("/f")
+
+        run(engine, workload())
+        assert not server.cache.lookup("/f", 0)
+
+    def test_readdir_and_namespace(self, engine, server):
+        def workload():
+            yield from server.mkdir("/d")
+            yield from server.create("/d/a")
+            yield from server.rename("/d/a", "/d/b")
+            entries = yield from server.readdir("/d")
+            yield from server.remove("/d/b")
+            yield from server.rmdir("/d")
+            return entries
+
+        assert run(engine, workload()) == ["b"]
+
+    def test_truncate_updates_store(self, engine, server):
+        def workload():
+            yield from server.create("/f")
+            yield from server.write("/f", 0, b"0123456789")
+            yield from server.truncate("/f", 4)
+            return (yield from server.getattr("/f")).size
+
+        assert run(engine, workload()) == 4
+
+    def test_exists_probe(self, engine, server):
+        def workload():
+            a = yield from server.exists("/nope")
+            yield from server.create("/yes")
+            b = yield from server.exists("/yes")
+            return a, b
+
+        assert run(engine, workload()) == (False, True)
+
+    def test_bad_write_policy_rejected(self, engine):
+        from dataclasses import replace
+        from repro.nfs import ServerParameters
+
+        bad = replace(SUN_NFS_TIMING,
+                      server=ServerParameters(write_policy="lazy"))
+        with pytest.raises(ValueError):
+            FileServer(engine, bad)
+
+
+class TestTimingBehaviour:
+    def test_cpu_cost_scales_with_bytes(self, engine, server):
+        def timed(nbytes):
+            def workload():
+                yield from server.create("/f")
+                yield from server.write("/f", 0, b"x" * nbytes)
+
+            t0 = engine.now
+            run(engine, workload())
+            return engine.now - t0
+
+        small = timed(10)
+        big = timed(50_000)
+        assert big > small
+
+    def test_write_through_pays_disk_per_write(self):
+        engine = Engine()
+        server = FileServer(engine, STRICT_NFSV2_TIMING)
+
+        def workload():
+            yield from server.create("/f")
+            yield from server.write("/f", 0, b"x" * 100)
+            yield from server.write("/f", 100, b"x" * 100)
+
+        run(engine, workload())
+        # create meta + two data writes
+        assert server.disk.total_accesses >= 3
+
+    def test_write_behind_flush_threshold(self, engine, server):
+        threshold = SUN_NFS_TIMING.server.flush_threshold_bytes
+
+        def workload():
+            yield from server.create("/f")
+            yield from server.write("/f", 0, b"x" * (threshold + 1))
+
+        run(engine, workload())
+        assert server.flush_count == 1
+
+    def test_sequential_reads_hit_cache(self, engine, server):
+        def workload():
+            yield from server.create("/f")
+            yield from server.write("/f", 0, b"x" * 4096)
+            yield from server.read("/f", 0, 1024)      # warm (just written)
+            yield from server.read("/f", 1024, 1024)
+
+        run(engine, workload())
+        assert server.cache.hit_ratio > 0.9

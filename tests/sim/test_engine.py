@@ -1,0 +1,305 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import (
+    Acquire,
+    Delay,
+    Engine,
+    Join,
+    Release,
+    Resource,
+    SimulationError,
+)
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(9.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 9.0
+
+    def test_ties_break_fifo(self):
+        engine = Engine()
+        order = []
+        for tag in "abc":
+            engine.schedule(1.0, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, lambda: fired.append(1))
+        engine.run(until=5.0)
+        assert fired == []
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        seen = []
+
+        def later():
+            seen.append(engine.now)
+            engine.schedule(2.0, lambda: seen.append(engine.now))
+
+        engine.schedule(1.0, later)
+        engine.run()
+        assert seen == [1.0, 3.0]
+
+
+class TestProcesses:
+    def test_delay_advances_time(self):
+        engine = Engine()
+
+        def proc():
+            yield Delay(4.0)
+            return engine.now
+
+        handle = engine.spawn(proc())
+        engine.run()
+        assert handle.done
+        assert handle.result == 4.0
+
+    def test_spawn_requires_generator(self):
+        engine = Engine()
+
+        def not_a_generator():
+            return 42
+
+        with pytest.raises(SimulationError):
+            engine.spawn(not_a_generator)  # missing ()
+
+    def test_multiple_processes_interleave(self):
+        engine = Engine()
+        trace = []
+
+        def worker(name, step):
+            for _ in range(3):
+                yield Delay(step)
+                trace.append((engine.now, name))
+
+        engine.spawn(worker("fast", 1.0))
+        engine.spawn(worker("slow", 2.0))
+        engine.run()
+        # At the t=2.0 tie, slow's wakeup was scheduled earlier (at t=0)
+        # than fast's second one (at t=1), so FIFO puts slow first.
+        assert trace == [
+            (1.0, "fast"),
+            (2.0, "slow"),
+            (2.0, "fast"),
+            (3.0, "fast"),
+            (4.0, "slow"),
+            (6.0, "slow"),
+        ]
+
+    def test_join_waits_for_result(self):
+        engine = Engine()
+
+        def child():
+            yield Delay(5.0)
+            return "payload"
+
+        def parent():
+            handle = engine.spawn(child(), name="child")
+            value = yield Join(handle)
+            return (engine.now, value)
+
+        handle = engine.spawn(parent(), name="parent")
+        engine.run()
+        assert handle.result == (5.0, "payload")
+
+    def test_join_on_finished_process(self):
+        engine = Engine()
+
+        def child():
+            return "done"
+            yield  # pragma: no cover - makes this a generator
+
+        def parent(child_handle):
+            value = yield Join(child_handle)
+            return value
+
+        child_handle = engine.spawn(child())
+        engine.run()
+        parent_handle = engine.spawn(parent(child_handle))
+        engine.run()
+        assert parent_handle.result == "done"
+
+    def test_yield_from_subprocess(self):
+        engine = Engine()
+
+        def inner():
+            yield Delay(3.0)
+            return 7
+
+        def outer():
+            value = yield from inner()
+            yield Delay(1.0)
+            return value * 2
+
+        handle = engine.spawn(outer())
+        engine.run()
+        assert handle.result == 14
+        assert engine.now == 4.0
+
+    def test_unknown_command_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield "not-a-command"
+
+        engine.spawn(bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_process_exception_propagates(self):
+        engine = Engine()
+
+        def failing():
+            yield Delay(1.0)
+            raise ValueError("boom")
+
+        handle = engine.spawn(failing())
+        with pytest.raises(ValueError, match="boom"):
+            engine.run()
+        assert handle.done
+        assert isinstance(handle.error, ValueError)
+
+    def test_run_until_processes_finish(self):
+        engine = Engine()
+
+        def proc():
+            yield Delay(2.0)
+            return True
+
+        handles = [engine.spawn(proc()) for _ in range(3)]
+        engine.run_until_processes_finish(handles)
+        assert all(h.done for h in handles)
+
+    def test_deadlock_detection(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def holder():
+            yield Acquire(resource)
+            # never releases; second process starves
+            return None
+
+        def starved():
+            yield Acquire(resource)
+            return None
+
+        engine.spawn(holder())
+        victim = engine.spawn(starved())
+        with pytest.raises(SimulationError, match="deadlock"):
+            engine.run_until_processes_finish([victim])
+
+    def test_active_process_count(self):
+        engine = Engine()
+
+        def proc():
+            yield Delay(1.0)
+
+        engine.spawn(proc())
+        engine.spawn(proc())
+        assert engine.active_processes == 2
+        engine.run()
+        assert engine.active_processes == 0
+
+
+class TestResources:
+    def test_fifo_mutual_exclusion(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+        trace = []
+
+        def worker(name):
+            yield Acquire(resource)
+            trace.append((f"{name}-in", engine.now))
+            yield Delay(10.0)
+            trace.append((f"{name}-out", engine.now))
+            yield Release(resource)
+
+        engine.spawn(worker("a"))
+        engine.spawn(worker("b"))
+        engine.run()
+        assert trace == [
+            ("a-in", 0.0),
+            ("a-out", 10.0),
+            ("b-in", 10.0),
+            ("b-out", 20.0),
+        ]
+
+    def test_capacity_two_runs_in_parallel(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=2)
+        finish_times = []
+
+        def worker():
+            yield Acquire(resource)
+            yield Delay(10.0)
+            yield Release(resource)
+            finish_times.append(engine.now)
+
+        for _ in range(4):
+            engine.spawn(worker())
+        engine.run()
+        assert finish_times == [10.0, 10.0, 20.0, 20.0]
+
+    def test_release_idle_raises(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def bad():
+            yield Release(resource)
+
+        engine.spawn(bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_utilization_statistics(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def worker():
+            yield Acquire(resource)
+            yield Delay(5.0)
+            yield Release(resource)
+            yield Delay(5.0)
+
+        engine.spawn(worker())
+        engine.run()
+        assert resource.utilization() == pytest.approx(0.5)
+        assert resource.total_acquisitions == 1
+
+    def test_queue_length_statistics(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def worker():
+            yield Acquire(resource)
+            yield Delay(10.0)
+            yield Release(resource)
+
+        for _ in range(2):
+            engine.spawn(worker())
+        engine.run()
+        # Second worker queued from t=0 to t=10 of a 20-unit run.
+        assert resource.mean_queue_length() == pytest.approx(0.5)
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Engine(), capacity=0)

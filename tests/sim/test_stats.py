@@ -1,0 +1,144 @@
+"""Unit tests for statistics accumulators."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Delay, Engine, Histogram, RunningStats, smooth_counts
+from repro.sim.stats import TimeWeightedValue
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.count == 0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5, 2, size=1000)
+        stats = RunningStats()
+        stats.add_many(data)
+        assert stats.mean == pytest.approx(np.mean(data))
+        assert stats.variance == pytest.approx(np.var(data))
+        assert stats.sample_variance == pytest.approx(np.var(data, ddof=1))
+        assert stats.minimum == np.min(data)
+        assert stats.maximum == np.max(data)
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(3.0)
+        assert stats.mean == 3.0
+        assert stats.variance == 0.0
+
+    def test_merge_equals_combined(self):
+        rng = np.random.default_rng(1)
+        a_data, b_data = rng.normal(size=500), rng.normal(3, 2, size=700)
+        a, b = RunningStats(), RunningStats()
+        a.add_many(a_data)
+        b.add_many(b_data)
+        merged = a.merge(b)
+        combined = np.concatenate([a_data, b_data])
+        assert merged.count == 1200
+        assert merged.mean == pytest.approx(np.mean(combined))
+        assert merged.variance == pytest.approx(np.var(combined))
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        b = RunningStats()
+        b.add_many([1.0, 2.0])
+        assert a.merge(b).mean == 1.5
+        assert b.merge(a).count == 2
+
+    def test_summary_keys(self):
+        stats = RunningStats()
+        stats.add(1.0)
+        assert set(stats.summary()) == {"count", "mean", "std", "min", "max"}
+
+
+class TestTimeWeightedValue:
+    def test_time_average(self):
+        engine = Engine()
+        signal = TimeWeightedValue(engine)
+
+        def proc():
+            signal.record(2.0)
+            yield Delay(10.0)
+            signal.record(4.0)
+            yield Delay(10.0)
+            signal.record(0.0)
+
+        engine.spawn(proc())
+        engine.run()
+        # (2*10 + 4*10) / 20
+        assert signal.time_average() == pytest.approx(3.0)
+
+    def test_zero_time(self):
+        engine = Engine()
+        signal = TimeWeightedValue(engine)
+        assert signal.time_average() == 0.0
+
+
+class TestSmoothing:
+    def test_window_one_is_identity(self):
+        counts = [1.0, 5.0, 2.0]
+        np.testing.assert_array_equal(smooth_counts(counts, window=1), counts)
+
+    def test_window_three_averages(self):
+        out = smooth_counts([0.0, 3.0, 0.0], window=3)
+        np.testing.assert_allclose(out, [1.0, 1.0, 1.0])
+
+    def test_mass_preserved_for_flat_signal(self):
+        counts = np.full(10, 4.0)
+        out = smooth_counts(counts, window=5, passes=3)
+        np.testing.assert_allclose(out, counts)
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError):
+            smooth_counts([1.0, 2.0], window=2)
+
+    def test_smoothing_reduces_variance(self):
+        rng = np.random.default_rng(2)
+        noisy = rng.poisson(10, size=50).astype(float)
+        smooth = smooth_counts(noisy, window=5)
+        assert np.var(smooth) < np.var(noisy)
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        hist = Histogram(0.0, 10.0, 10)
+        hist.add_many([0.5, 1.5, 1.6, 9.99])
+        assert hist.counts[0] == 1
+        assert hist.counts[1] == 2
+        assert hist.counts[9] == 1
+        assert hist.total == 4
+
+    def test_top_edge_in_last_bin(self):
+        hist = Histogram(0.0, 10.0, 10)
+        hist.add(10.0)
+        assert hist.counts[9] == 1
+        assert hist.overflow == 0
+
+    def test_under_and_overflow(self):
+        hist = Histogram(0.0, 1.0, 2)
+        hist.add(-0.1)
+        hist.add(1.1)
+        assert hist.underflow == 1
+        assert hist.overflow == 1
+        assert hist.total == 0
+
+    def test_centers_and_edges(self):
+        hist = Histogram(0.0, 4.0, 4)
+        np.testing.assert_allclose(hist.centers, [0.5, 1.5, 2.5, 3.5])
+        assert len(hist.edges) == 5
+
+    def test_smoothed_wraps_smooth_counts(self):
+        hist = Histogram(0.0, 3.0, 3)
+        hist.add_many([1.5, 1.5, 1.5])
+        np.testing.assert_allclose(hist.smoothed(window=3), [1.0, 1.0, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, 5)

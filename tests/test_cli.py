@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.backend == "nfs"
+        assert args.users == 2
+
+    def test_figures_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "fig9.9"])
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        code = main(["simulate", "--users", "1", "--sessions", "1",
+                     "--files", "80", "--backend", "local"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Run summary" in out
+        assert "mean response" in out
+
+    def test_real_and_mkfs(self, tmp_path, capsys):
+        code = main(["mkfs", str(tmp_path / "fsroot"), "--files", "60",
+                     "--users", "1"])
+        assert code == 0
+        assert "files created" in capsys.readouterr().out
+
+        code = main(["real", str(tmp_path / "sandbox"), "--users", "1",
+                     "--sessions", "1", "--files", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend" in out
+
+    def test_figures_table_5_4(self, capsys):
+        code = main(["figures", "table5.4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 5.4" in out
+
+    def test_figures_fig_5_1(self, capsys):
+        code = main(["figures", "fig5.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 5.1" in out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--users", "2", "--sessions", "2",
+                     "--files", "100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "comparison" in out
+        assert "nfs" in out

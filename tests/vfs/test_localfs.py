@@ -1,0 +1,105 @@
+"""Unit tests for the real-directory backend (sandboxed os.* calls)."""
+
+import os
+
+import pytest
+
+from repro.vfs import (
+    FileExistsFsError,
+    FileKind,
+    LocalFileSystem,
+    NoSuchFileError,
+    OpenFlags,
+    Whence,
+)
+
+
+@pytest.fixture
+def fs(tmp_path):
+    return LocalFileSystem(str(tmp_path / "sandbox"))
+
+
+class TestLocalFileSystem:
+    def test_roundtrip(self, fs):
+        fd = fs.creat("/f")
+        fs.write(fd, b"hello")
+        fs.close(fd)
+        fd = fs.open("/f", OpenFlags.RDONLY)
+        assert fs.read(fd, 10) == b"hello"
+        fs.close(fd)
+
+    def test_files_live_under_root(self, fs, tmp_path):
+        fd = fs.creat("/sub-proof")
+        fs.close(fd)
+        assert os.path.exists(tmp_path / "sandbox" / "sub-proof")
+
+    def test_dotdot_cannot_escape_sandbox(self, fs, tmp_path):
+        fd = fs.creat("/../../escape")
+        fs.close(fd)
+        # The file must land inside the sandbox, not beside it.
+        assert os.path.exists(tmp_path / "sandbox" / "escape")
+        assert not os.path.exists(tmp_path / "escape")
+
+    def test_enoent_translated(self, fs):
+        with pytest.raises(NoSuchFileError):
+            fs.open("/missing", OpenFlags.RDONLY)
+
+    def test_eexist_translated(self, fs):
+        fd = fs.creat("/f")
+        fs.close(fd)
+        with pytest.raises(FileExistsFsError):
+            fs.open("/f", OpenFlags.CREAT | OpenFlags.EXCL | OpenFlags.WRONLY)
+
+    def test_mkdir_listdir_rmdir(self, fs):
+        fs.mkdir("/d")
+        fd = fs.creat("/d/x")
+        fs.close(fd)
+        assert fs.listdir("/d") == ["x"]
+        fs.unlink("/d/x")
+        fs.rmdir("/d")
+        assert not fs.exists("/d")
+
+    def test_makedirs(self, fs):
+        fs.makedirs("/a/b/c")
+        assert fs.stat("/a/b/c").kind is FileKind.DIRECTORY
+
+    def test_lseek_and_stat(self, fs):
+        fd = fs.creat("/f")
+        fs.write(fd, b"0123456789")
+        assert fs.lseek(fd, -4, Whence.END) == 6
+        fs.close(fd)
+        assert fs.stat("/f").size == 10
+
+    def test_fstat(self, fs):
+        fd = fs.creat("/f")
+        fs.write(fd, b"xyz")
+        assert fs.fstat(fd).size == 3
+        fs.close(fd)
+
+    def test_rename(self, fs):
+        fd = fs.creat("/old")
+        fs.close(fd)
+        fs.rename("/old", "/new")
+        assert fs.exists("/new")
+        assert not fs.exists("/old")
+
+    def test_truncate(self, fs):
+        fd = fs.creat("/f")
+        fs.write(fd, b"abcdef")
+        fs.close(fd)
+        fs.truncate("/f", 2)
+        assert fs.stat("/f").size == 2
+
+    def test_same_workload_as_memfs(self, fs):
+        """The two backends must accept an identical call sequence."""
+        from repro.vfs import MemoryFileSystem
+
+        for backend in (fs, MemoryFileSystem()):
+            backend.makedirs("/u/dir")
+            fd = backend.creat("/u/dir/f")
+            backend.write(fd, b"payload")
+            backend.close(fd)
+            fd = backend.open("/u/dir/f", OpenFlags.RDONLY)
+            assert backend.read(fd, 100) == b"payload"
+            backend.close(fd)
+            assert backend.listdir("/u/dir") == ["f"]

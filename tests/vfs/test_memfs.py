@@ -1,0 +1,412 @@
+"""Unit tests for the in-memory file system."""
+
+import pytest
+
+from repro.vfs import (
+    BadDescriptorError,
+    DirectoryNotEmptyError,
+    FileExistsFsError,
+    FileKind,
+    InvalidArgumentError,
+    IsADirectoryFsError,
+    MemoryFileSystem,
+    NoSpaceError,
+    NoSuchFileError,
+    NotADirectoryFsError,
+    OpenFlags,
+    ReadOnlyDescriptorError,
+    TooManyOpenFilesError,
+    Whence,
+)
+
+
+@pytest.fixture
+def fs():
+    return MemoryFileSystem()
+
+
+def write_file(fs, path, data: bytes):
+    fd = fs.creat(path)
+    fs.write(fd, data)
+    fs.close(fd)
+
+
+class TestOpenClose:
+    def test_create_and_reopen(self, fs):
+        fd = fs.open("/hello", OpenFlags.WRONLY | OpenFlags.CREAT)
+        fs.close(fd)
+        fd2 = fs.open("/hello", OpenFlags.RDONLY)
+        fs.close(fd2)
+
+    def test_open_missing_enoent(self, fs):
+        with pytest.raises(NoSuchFileError):
+            fs.open("/missing", OpenFlags.RDONLY)
+
+    def test_excl_create_conflict(self, fs):
+        write_file(fs, "/f", b"x")
+        with pytest.raises(FileExistsFsError):
+            fs.open("/f", OpenFlags.WRONLY | OpenFlags.CREAT | OpenFlags.EXCL)
+
+    def test_close_twice_ebadf(self, fs):
+        fd = fs.creat("/f")
+        fs.close(fd)
+        with pytest.raises(BadDescriptorError):
+            fs.close(fd)
+
+    def test_descriptor_table_limit(self):
+        fs = MemoryFileSystem(max_open_files=2)
+        fs.creat("/a")
+        fs.creat("/b")
+        with pytest.raises(TooManyOpenFilesError):
+            fs.creat("/c")
+
+    def test_open_directory_for_write_eisdir(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectoryFsError):
+            fs.open("/d", OpenFlags.WRONLY)
+
+    def test_open_directory_readonly_allowed(self, fs):
+        fs.mkdir("/d")
+        fd = fs.open("/d", OpenFlags.RDONLY)
+        fs.close(fd)
+
+    def test_trunc_resets_content(self, fs):
+        write_file(fs, "/f", b"old content")
+        fd = fs.open("/f", OpenFlags.WRONLY | OpenFlags.TRUNC)
+        fs.close(fd)
+        assert fs.stat("/f").size == 0
+
+
+class TestReadWrite:
+    def test_roundtrip(self, fs):
+        write_file(fs, "/f", b"hello world")
+        fd = fs.open("/f", OpenFlags.RDONLY)
+        assert fs.read(fd, 5) == b"hello"
+        assert fs.read(fd, 100) == b" world"
+        assert fs.read(fd, 10) == b""
+        fs.close(fd)
+
+    def test_write_returns_count(self, fs):
+        fd = fs.creat("/f")
+        assert fs.write(fd, b"abcde") == 5
+        fs.close(fd)
+
+    def test_read_from_writeonly_ebadf(self, fs):
+        fd = fs.creat("/f")
+        with pytest.raises(BadDescriptorError):
+            fs.read(fd, 1)
+        fs.close(fd)
+
+    def test_write_to_readonly_rejected(self, fs):
+        write_file(fs, "/f", b"x")
+        fd = fs.open("/f", OpenFlags.RDONLY)
+        with pytest.raises(ReadOnlyDescriptorError):
+            fs.write(fd, b"y")
+        fs.close(fd)
+
+    def test_negative_read_einval(self, fs):
+        write_file(fs, "/f", b"x")
+        fd = fs.open("/f", OpenFlags.RDONLY)
+        with pytest.raises(InvalidArgumentError):
+            fs.read(fd, -1)
+        fs.close(fd)
+
+    def test_sparse_write_zero_fills(self, fs):
+        fd = fs.creat("/f")
+        fs.lseek(fd, 4, Whence.SET)
+        fs.write(fd, b"ab")
+        fs.close(fd)
+        fd = fs.open("/f", OpenFlags.RDONLY)
+        assert fs.read(fd, 10) == b"\x00\x00\x00\x00ab"
+        fs.close(fd)
+
+    def test_append_mode_writes_at_eof(self, fs):
+        write_file(fs, "/f", b"start")
+        fd = fs.open("/f", OpenFlags.WRONLY | OpenFlags.APPEND)
+        fs.lseek(fd, 0, Whence.SET)
+        fs.write(fd, b"+end")
+        fs.close(fd)
+        fd = fs.open("/f", OpenFlags.RDONLY)
+        assert fs.read(fd, 100) == b"start+end"
+        fs.close(fd)
+
+    def test_independent_descriptor_offsets(self, fs):
+        write_file(fs, "/f", b"abcdef")
+        fd1 = fs.open("/f", OpenFlags.RDONLY)
+        fd2 = fs.open("/f", OpenFlags.RDONLY)
+        assert fs.read(fd1, 3) == b"abc"
+        assert fs.read(fd2, 3) == b"abc"
+        fs.close(fd1)
+        fs.close(fd2)
+
+    def test_overwrite_middle(self, fs):
+        write_file(fs, "/f", b"aaaaaa")
+        fd = fs.open("/f", OpenFlags.RDWR)
+        fs.lseek(fd, 2, Whence.SET)
+        fs.write(fd, b"XX")
+        fs.lseek(fd, 0, Whence.SET)
+        assert fs.read(fd, 6) == b"aaXXaa"
+        fs.close(fd)
+
+
+class TestLseek:
+    def test_whence_set_cur_end(self, fs):
+        write_file(fs, "/f", b"0123456789")
+        fd = fs.open("/f", OpenFlags.RDONLY)
+        assert fs.lseek(fd, 4, Whence.SET) == 4
+        assert fs.lseek(fd, 2, Whence.CUR) == 6
+        assert fs.lseek(fd, -1, Whence.END) == 9
+        assert fs.read(fd, 1) == b"9"
+        fs.close(fd)
+
+    def test_seek_beyond_eof_allowed(self, fs):
+        write_file(fs, "/f", b"ab")
+        fd = fs.open("/f", OpenFlags.RDONLY)
+        assert fs.lseek(fd, 100, Whence.SET) == 100
+        assert fs.read(fd, 10) == b""
+        fs.close(fd)
+
+    def test_negative_offset_einval(self, fs):
+        write_file(fs, "/f", b"ab")
+        fd = fs.open("/f", OpenFlags.RDONLY)
+        with pytest.raises(InvalidArgumentError):
+            fs.lseek(fd, -10, Whence.SET)
+        fs.close(fd)
+
+
+class TestDirectories:
+    def test_mkdir_and_listdir(self, fs):
+        fs.mkdir("/d")
+        write_file(fs, "/d/x", b"1")
+        write_file(fs, "/d/y", b"2")
+        assert fs.listdir("/d") == ["x", "y"]
+
+    def test_mkdir_existing_eexist(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FileExistsFsError):
+            fs.mkdir("/d")
+
+    def test_mkdir_missing_parent_enoent(self, fs):
+        with pytest.raises(NoSuchFileError):
+            fs.mkdir("/no/such/parent")
+
+    def test_makedirs_creates_chain(self, fs):
+        fs.makedirs("/a/b/c")
+        assert fs.stat("/a/b/c").is_dir
+
+    def test_makedirs_idempotent(self, fs):
+        fs.makedirs("/a/b")
+        fs.makedirs("/a/b")
+        assert fs.stat("/a/b").is_dir
+
+    def test_makedirs_through_file_enotdir(self, fs):
+        write_file(fs, "/a", b"x")
+        with pytest.raises(NotADirectoryFsError):
+            fs.makedirs("/a/b")
+
+    def test_rmdir_empty(self, fs):
+        fs.mkdir("/d")
+        fs.rmdir("/d")
+        assert not fs.exists("/d")
+
+    def test_rmdir_nonempty_enotempty(self, fs):
+        fs.mkdir("/d")
+        write_file(fs, "/d/f", b"x")
+        with pytest.raises(DirectoryNotEmptyError):
+            fs.rmdir("/d")
+
+    def test_rmdir_file_enotdir(self, fs):
+        write_file(fs, "/f", b"x")
+        with pytest.raises(NotADirectoryFsError):
+            fs.rmdir("/f")
+
+    def test_listdir_file_enotdir(self, fs):
+        write_file(fs, "/f", b"x")
+        with pytest.raises(NotADirectoryFsError):
+            fs.listdir("/f")
+
+    def test_nlink_accounting(self, fs):
+        assert fs.stat("/").nlink == 2
+        fs.mkdir("/d")
+        assert fs.stat("/").nlink == 3
+        assert fs.stat("/d").nlink == 2
+        fs.rmdir("/d")
+        assert fs.stat("/").nlink == 2
+
+    def test_path_through_file_enotdir(self, fs):
+        write_file(fs, "/f", b"x")
+        with pytest.raises(NotADirectoryFsError):
+            fs.stat("/f/child")
+
+
+class TestUnlinkAndLinks:
+    def test_unlink_removes(self, fs):
+        write_file(fs, "/f", b"x")
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+
+    def test_unlink_missing_enoent(self, fs):
+        with pytest.raises(NoSuchFileError):
+            fs.unlink("/missing")
+
+    def test_unlink_directory_eisdir(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectoryFsError):
+            fs.unlink("/d")
+
+    def test_hard_link_shares_data(self, fs):
+        write_file(fs, "/a", b"shared")
+        fs.link("/a", "/b")
+        assert fs.stat("/a").inode == fs.stat("/b").inode
+        assert fs.stat("/a").nlink == 2
+        fs.unlink("/a")
+        fd = fs.open("/b", OpenFlags.RDONLY)
+        assert fs.read(fd, 10) == b"shared"
+        fs.close(fd)
+
+    def test_link_existing_target_eexist(self, fs):
+        write_file(fs, "/a", b"1")
+        write_file(fs, "/b", b"2")
+        with pytest.raises(FileExistsFsError):
+            fs.link("/a", "/b")
+
+    def test_data_freed_after_last_unlink(self, fs):
+        write_file(fs, "/a", b"12345678")
+        used = fs.bytes_used
+        fs.link("/a", "/b")
+        fs.unlink("/a")
+        assert fs.bytes_used == used
+        fs.unlink("/b")
+        assert fs.bytes_used == used - 8
+
+
+class TestRename:
+    def test_simple_rename(self, fs):
+        write_file(fs, "/a", b"data")
+        fs.rename("/a", "/b")
+        assert not fs.exists("/a")
+        assert fs.stat("/b").size == 4
+
+    def test_rename_replaces_file(self, fs):
+        write_file(fs, "/a", b"new")
+        write_file(fs, "/b", b"old-longer")
+        fs.rename("/a", "/b")
+        fd = fs.open("/b", OpenFlags.RDONLY)
+        assert fs.read(fd, 100) == b"new"
+        fs.close(fd)
+
+    def test_rename_dir_into_dir(self, fs):
+        fs.mkdir("/src")
+        fs.mkdir("/dst")
+        write_file(fs, "/src/f", b"x")
+        fs.rename("/src", "/dst/moved")
+        assert fs.stat("/dst/moved/f").size == 1
+
+    def test_rename_missing_enoent(self, fs):
+        with pytest.raises(NoSuchFileError):
+            fs.rename("/nope", "/x")
+
+    def test_rename_file_over_dir_eisdir(self, fs):
+        write_file(fs, "/f", b"x")
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectoryFsError):
+            fs.rename("/f", "/d")
+
+    def test_rename_dir_over_nonempty_dir(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        write_file(fs, "/b/f", b"x")
+        with pytest.raises(DirectoryNotEmptyError):
+            fs.rename("/a", "/b")
+
+    def test_rename_onto_itself_noop(self, fs):
+        write_file(fs, "/f", b"keep")
+        fs.rename("/f", "/f")
+        assert fs.stat("/f").size == 4
+
+
+class TestTruncateAndCapacity:
+    def test_truncate_shrink_and_grow(self, fs):
+        write_file(fs, "/f", b"123456")
+        fs.truncate("/f", 3)
+        assert fs.stat("/f").size == 3
+        fs.truncate("/f", 5)
+        fd = fs.open("/f", OpenFlags.RDONLY)
+        assert fs.read(fd, 10) == b"123\x00\x00"
+        fs.close(fd)
+
+    def test_truncate_negative_einval(self, fs):
+        write_file(fs, "/f", b"x")
+        with pytest.raises(InvalidArgumentError):
+            fs.truncate("/f", -1)
+
+    def test_capacity_enospc(self):
+        fs = MemoryFileSystem(capacity_bytes=10)
+        fd = fs.creat("/f")
+        fs.write(fd, b"0123456789")
+        with pytest.raises(NoSpaceError):
+            fs.write(fd, b"overflow")
+        fs.close(fd)
+
+    def test_capacity_freed_by_unlink(self):
+        fs = MemoryFileSystem(capacity_bytes=10)
+        write_file(fs, "/a", b"0123456789")
+        fs.unlink("/a")
+        write_file(fs, "/b", b"0123456789")
+        assert fs.bytes_used == 10
+
+    def test_bytes_used_tracks_overwrites(self, fs):
+        fd = fs.creat("/f")
+        fs.write(fd, b"aaaa")
+        fs.lseek(fd, 0, Whence.SET)
+        fs.write(fd, b"bb")
+        fs.close(fd)
+        assert fs.bytes_used == 4
+
+
+class TestIntrospection:
+    def test_stat_kinds(self, fs):
+        fs.mkdir("/d")
+        write_file(fs, "/f", b"x")
+        assert fs.stat("/d").kind is FileKind.DIRECTORY
+        assert fs.stat("/f").kind is FileKind.REGULAR
+        assert fs.stat("/d").is_dir
+
+    def test_fstat_matches_stat(self, fs):
+        write_file(fs, "/f", b"abc")
+        fd = fs.open("/f", OpenFlags.RDONLY)
+        assert fs.fstat(fd).inode == fs.stat("/f").inode
+        fs.close(fd)
+
+    def test_walk(self, fs):
+        fs.makedirs("/a/b")
+        write_file(fs, "/a/f1", b"1")
+        write_file(fs, "/a/b/f2", b"2")
+        walked = list(fs.walk("/"))
+        assert walked[0][0] == "/"
+        paths = [entry[0] for entry in walked]
+        assert "/a" in paths and "/a/b" in paths
+
+    def test_inode_count(self, fs):
+        base = fs.inode_count
+        fs.mkdir("/d")
+        write_file(fs, "/d/f", b"x")
+        assert fs.inode_count == base + 2
+        fs.unlink("/d/f")
+        fs.rmdir("/d")
+        assert fs.inode_count == base
+
+    def test_open_descriptor_count(self, fs):
+        assert fs.open_descriptor_count == 0
+        fd = fs.creat("/f")
+        assert fs.open_descriptor_count == 1
+        fs.close(fd)
+        assert fs.open_descriptor_count == 0
+
+    def test_mtime_advances_on_write(self, fs):
+        write_file(fs, "/f", b"x")
+        before = fs.stat("/f").mtime
+        fd = fs.open("/f", OpenFlags.WRONLY)
+        fs.write(fd, b"y")
+        fs.close(fd)
+        assert fs.stat("/f").mtime > before

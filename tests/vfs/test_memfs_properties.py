@@ -1,0 +1,110 @@
+"""Property-based tests on memfs invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vfs import MemoryFileSystem, OpenFlags, Whence
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(chunks=st.lists(st.binary(min_size=0, max_size=256), max_size=20))
+@settings(max_examples=60)
+def test_sequential_write_then_read_roundtrip(chunks):
+    """Reading back a sequentially written file returns exactly the bytes."""
+    fs = MemoryFileSystem()
+    fd = fs.creat("/f")
+    for chunk in chunks:
+        fs.write(fd, chunk)
+    fs.close(fd)
+    expected = b"".join(chunks)
+    fd = fs.open("/f", OpenFlags.RDONLY)
+    out = b""
+    while True:
+        piece = fs.read(fd, 64)
+        if not piece:
+            break
+        out += piece
+    fs.close(fd)
+    assert out == expected
+    assert fs.stat("/f").size == len(expected)
+
+
+@given(file_names=st.lists(names, min_size=1, max_size=12, unique=True))
+@settings(max_examples=60)
+def test_bytes_used_matches_sum_of_sizes(file_names):
+    """Capacity accounting equals the sum of live file sizes."""
+    fs = MemoryFileSystem()
+    total = 0
+    for i, name in enumerate(file_names):
+        payload = bytes([i % 251]) * (i * 7 % 97)
+        fd = fs.creat(f"/{name}")
+        fs.write(fd, payload)
+        fs.close(fd)
+        total += len(payload)
+    assert fs.bytes_used == total
+    for name in file_names:
+        fs.unlink(f"/{name}")
+    assert fs.bytes_used == 0
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=200),
+            st.binary(min_size=0, max_size=64),
+        ),
+        max_size=15,
+    )
+)
+@settings(max_examples=60)
+def test_random_positioned_writes_match_shadow_model(ops):
+    """memfs write/lseek semantics agree with a bytearray shadow model."""
+    fs = MemoryFileSystem()
+    fd = fs.creat("/f")
+    shadow = bytearray()
+    for offset, data in ops:
+        fs.lseek(fd, offset, Whence.SET)
+        fs.write(fd, data)
+        end = offset + len(data)
+        if end > len(shadow):
+            shadow.extend(b"\x00" * (end - len(shadow)))
+        shadow[offset:end] = data
+    fs.close(fd)
+    fd = fs.open("/f", OpenFlags.RDONLY)
+    content = fs.read(fd, len(shadow) + 64)
+    fs.close(fd)
+    assert content == bytes(shadow)
+
+
+@given(dir_names=st.lists(names, min_size=1, max_size=8, unique=True))
+@settings(max_examples=40)
+def test_mkdir_rmdir_restores_inode_count(dir_names):
+    """Creating then removing directories returns to the initial state."""
+    fs = MemoryFileSystem()
+    base_inodes = fs.inode_count
+    base_nlink = fs.stat("/").nlink
+    for name in dir_names:
+        fs.mkdir(f"/{name}")
+    assert fs.stat("/").nlink == base_nlink + len(dir_names)
+    for name in dir_names:
+        fs.rmdir(f"/{name}")
+    assert fs.inode_count == base_inodes
+    assert fs.stat("/").nlink == base_nlink
+
+
+@given(
+    seed_names=st.lists(names, min_size=2, max_size=6, unique=True),
+)
+@settings(max_examples=40)
+def test_listdir_always_sorted_and_complete(seed_names):
+    fs = MemoryFileSystem()
+    for name in seed_names:
+        fd = fs.creat(f"/{name}")
+        fs.close(fd)
+    listing = fs.listdir("/")
+    assert listing == sorted(seed_names)

@@ -1,0 +1,77 @@
+"""Unit tests for virtual path handling."""
+
+import pytest
+
+from repro.vfs import (
+    InvalidArgumentError,
+    join,
+    normalize,
+    parent_and_name,
+    split_components,
+)
+
+
+class TestSplitComponents:
+    def test_simple(self):
+        assert split_components("/a/b/c") == ["a", "b", "c"]
+
+    def test_root(self):
+        assert split_components("/") == []
+
+    def test_collapses_duplicate_separators(self):
+        assert split_components("//a///b") == ["a", "b"]
+
+    def test_drops_dot(self):
+        assert split_components("/a/./b/.") == ["a", "b"]
+
+    def test_dotdot_pops(self):
+        assert split_components("/a/b/../c") == ["a", "c"]
+
+    def test_dotdot_at_root_is_root(self):
+        assert split_components("/../..") == []
+
+    def test_rejects_relative(self):
+        with pytest.raises(InvalidArgumentError):
+            split_components("a/b")
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidArgumentError):
+            split_components("")
+
+
+class TestNormalize:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("/", "/"),
+            ("/a//b/./c/..", "/a/b"),
+            ("/a/b/", "/a/b"),
+            ("///", "/"),
+            ("/x/../y", "/y"),
+        ],
+    )
+    def test_cases(self, raw, expected):
+        assert normalize(raw) == expected
+
+
+class TestParentAndName:
+    def test_simple(self):
+        assert parent_and_name("/a/b/c") == ("/a/b", "c")
+
+    def test_top_level(self):
+        assert parent_and_name("/file") == ("/", "file")
+
+    def test_root_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            parent_and_name("/")
+
+
+class TestJoin:
+    def test_basic(self):
+        assert join("/a", "b", "c") == "/a/b/c"
+
+    def test_normalises(self):
+        assert join("/a/", "b/", "../c") == "/a/c"
+
+    def test_root_base(self):
+        assert join("/", "x") == "/x"
