@@ -1,0 +1,95 @@
+"""Fleet scaling: wall-clock speedup and exact aggregate equality.
+
+Runs the same ``mixed-campus`` population at 1, 2 and 4 shards (worker
+processes = shards) and reports, per shard count:
+
+* wall-clock time and speedup over the single-shard run;
+* whether the merged aggregate workload statistics are **bit-for-bit**
+  identical to the single-shard run (they must always be — this is the
+  fleet layer's determinism guarantee, asserted here);
+* ops per wall second.
+
+Speedup is near-linear when cores are available; the ≥2x assertion at 4
+shards is skipped on machines with fewer than 4 usable cores, where no
+process pool can beat serial execution.
+
+Run either way::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet_scaling.py -q
+    PYTHONPATH=src python benchmarks/bench_fleet_scaling.py
+"""
+
+import os
+
+from repro.fleet import FleetConfig, run_fleet
+from repro.harness import fleet_aggregate_block, format_table
+
+USERS = 160
+SEED = 7
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def fleet_scaling_table() -> tuple[str, dict[int, float]]:
+    """Run the scaling sweep; return (formatted table, wall s by shards)."""
+    walls: dict[int, float] = {}
+    rows = []
+    reference = None
+    for shards in SHARD_COUNTS:
+        result = run_fleet(FleetConfig(
+            scenario="mixed-campus", users=USERS, shards=shards,
+            workers=shards, seed=SEED,
+        ))
+        aggregate = fleet_aggregate_block(result)
+        if reference is None:
+            reference = aggregate
+        assert aggregate == reference, (
+            f"aggregate at {shards} shards diverged from single-shard run"
+        )
+        walls[shards] = result.wall_s
+        rows.append((
+            shards,
+            result.wall_s,
+            walls[SHARD_COUNTS[0]] / result.wall_s,
+            result.tally.operations,
+            result.tally.operations / result.wall_s,
+            "identical",
+        ))
+    table = format_table(
+        ["shards", "wall s", "speedup", "ops", "ops/s", "aggregate vs 1 shard"],
+        rows,
+        title=(
+            f"Fleet scaling — mixed-campus, {USERS} users, seed {SEED}, "
+            f"{_usable_cores()} usable cores"
+        ),
+    )
+    return table, walls
+
+
+def test_bench_fleet_scaling(benchmark):
+    from .conftest import emit, once
+
+    table, walls = once(benchmark, fleet_scaling_table)
+    emit("bench_fleet_scaling", table)
+    if _usable_cores() >= 4:
+        speedup = walls[1] / walls[4]
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup at 4 shards on "
+            f"{_usable_cores()} cores, got {speedup:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    text, walls = fleet_scaling_table()
+    print(text)
+    if _usable_cores() >= 4 and walls[1] / walls[4] < 2.0:
+        raise SystemExit(
+            f"expected >=2x speedup at 4 shards, got "
+            f"{walls[1] / walls[4]:.2f}x"
+        )

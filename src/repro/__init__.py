@@ -14,6 +14,10 @@ The package provides:
 * :mod:`repro.nfs` — simulated SUN-NFS / local-disk / AFS-like backends;
 * :mod:`repro.core` — the workload generator itself (GDS, FSC, USIM),
   the paper's measured tables, the usage log and the analyzer;
+* :mod:`repro.scenarios` — a registry of named, ready-to-run workload
+  mixes (campus, dev team, batch, database, ...);
+* :mod:`repro.fleet` — sharded multi-process generation for large
+  populations, with deterministic merged statistics;
 * :mod:`repro.harness` — one function per paper table and figure.
 
 Quickstart::
@@ -23,6 +27,14 @@ Quickstart::
     spec = paper_workload_spec(n_users=3, total_files=200, seed=42)
     result = WorkloadGenerator(spec).run_simulated(sessions_per_user=5)
     print(result.analyzer.response_time_stats().summary())
+
+Scaling out::
+
+    from repro import FleetConfig, run_fleet
+
+    result = run_fleet(FleetConfig(scenario="mixed-campus",
+                                   users=1000, shards=4, seed=7))
+    print(result.aggregate_kv())
 """
 
 from .core import (
@@ -62,9 +74,22 @@ from .distributions import (
     TabulatedPdf,
     Uniform,
 )
+from .fleet import (
+    FleetConfig,
+    FleetResult,
+    WorkloadTally,
+    run_fleet,
+)
+from .scenarios import (
+    Scenario,
+    build_scenario_spec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from .vfs import LocalFileSystem, MemoryFileSystem, OpenFlags
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DistributionSpecifier",
@@ -100,6 +125,15 @@ __all__ = [
     "TabulatedCdf",
     "TabulatedPdf",
     "Uniform",
+    "FleetConfig",
+    "FleetResult",
+    "WorkloadTally",
+    "run_fleet",
+    "Scenario",
+    "build_scenario_spec",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
     "LocalFileSystem",
     "MemoryFileSystem",
     "OpenFlags",

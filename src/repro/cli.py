@@ -7,7 +7,9 @@ experiments:
 * ``real`` — drive a real directory with the generated workload;
 * ``figures`` — regenerate a paper table/figure by identifier;
 * ``compare`` — the section 5.3 file-system comparison;
-* ``mkfs`` — create the initial file system in a directory (FSC only).
+* ``mkfs`` — create the initial file system in a directory (FSC only);
+* ``fleet run`` — sharded multi-process generation from a named scenario;
+* ``fleet scenarios`` — list the scenario library.
 """
 
 from __future__ import annotations
@@ -16,7 +18,9 @@ import argparse
 import sys
 
 from .core import WorkloadGenerator, paper_workload_spec
+from .fleet import FleetConfig, run_fleet
 from .harness import (
+    fleet_report,
     compare_file_systems,
     figure_5_1,
     figure_5_2,
@@ -100,6 +104,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_p = sub.add_parser("compare", help="section 5.3 comparison")
     common(cmp_p)
+
+    fleet = sub.add_parser(
+        "fleet", help="sharded multi-process workload generation"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="run a scenario sharded across worker processes"
+    )
+    fleet_run.add_argument("--scenario", default="paper-campus",
+                           help="a name from `fleet scenarios`")
+    fleet_run.add_argument("--users", type=int, default=100,
+                           help="population size across all shards")
+    fleet_run.add_argument("--shards", type=int, default=1,
+                           help="independent simulated sites to split into")
+    fleet_run.add_argument("--workers", type=int, default=None,
+                           help="worker processes (default: min(shards, cores))")
+    fleet_run.add_argument("--sessions", type=int, default=None,
+                           help="login sessions per user "
+                                "(default: the scenario's)")
+    fleet_run.add_argument("--seed", type=int, default=0)
+    fleet_run.add_argument("--files", type=int, default=None,
+                           help="FSC file count (default: scenario-scaled)")
+    fleet_run.add_argument("--backend", choices=("nfs", "local", "afs"),
+                           default="nfs")
+    fleet_run.add_argument("--oplog", metavar="PATH", default=None,
+                           help="also collect and write the merged usage log")
+
+    fleet_sub.add_parser("scenarios", help="list the scenario library")
     return parser
 
 
@@ -161,6 +194,8 @@ def main(argv: list[str] | None = None) -> int:
             },
             title="File system created",
         ))
+    elif args.command == "fleet":
+        return _main_fleet(args)
     elif args.command == "figures":
         print(_FIGURES[args.ident]().formatted())
     elif args.command == "compare":
@@ -172,6 +207,71 @@ def main(argv: list[str] | None = None) -> int:
             heavy_fraction=args.heavy_fraction,
         )
         print(comparison.formatted())
+    return 0
+
+
+def _main_fleet(args: argparse.Namespace) -> int:
+    from .scenarios import get_scenario, scenario_names
+
+    if args.fleet_command == "scenarios":
+        from .harness import format_table
+
+        rows = []
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            rows.append((name, scenario.access_pattern,
+                         scenario.description))
+        print(format_table(["name", "access", "description"], rows,
+                           title="Scenario library"))
+        return 0
+
+    from .core import SpecError
+    from .scenarios import ScenarioError
+
+    probe_created = False
+    if args.oplog is not None:
+        # Fail fast on an unwritable target, but do not truncate an
+        # existing file until the run has actually produced a log.
+        import os
+
+        probe_created = not os.path.exists(args.oplog)
+        try:
+            with open(args.oplog, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write --oplog: {exc}", file=sys.stderr)
+            return 2
+    try:
+        config = FleetConfig(
+            scenario=args.scenario,
+            users=args.users,
+            shards=args.shards,
+            workers=args.workers,
+            sessions_per_user=args.sessions,
+            seed=args.seed,
+            backend=args.backend,
+            total_files=args.files,
+            collect_ops=args.oplog is not None,
+        )
+        result = run_fleet(config)
+    except (ScenarioError, SpecError) as exc:
+        # KeyError reprs its message with quotes; unwrap for a clean line.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        if probe_created:
+            import os
+
+            try:
+                os.unlink(args.oplog)
+            except OSError:
+                pass
+        return 2
+    print(fleet_report(result))
+    if args.oplog is not None:
+        with open(args.oplog, "w", encoding="utf-8") as stream:
+            result.log.dump(stream)
+        print(f"\nmerged usage log ({len(result.log.operations)} ops) "
+              f"written to {args.oplog}")
     return 0
 
 

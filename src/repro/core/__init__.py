@@ -23,7 +23,7 @@ from .datasets import (
 from .fsc import CreatedFile, FileSystemCreator, FileSystemLayout
 from .gds import DistributionSpecifier
 from .generator import RunResult, SimulationHandle, TableSampler, WorkloadGenerator
-from .oplog import OpRecord, SessionRecord, UsageLog
+from .oplog import OpRecord, OpSink, SessionRecord, UsageLog
 from .plotting import render_histogram, render_pdf, render_series, sparkline
 from .spec import (
     FileCategory,
@@ -35,6 +35,7 @@ from .spec import (
     UserTypeSpec,
     UseType,
     WorkloadSpec,
+    partition_user_ids,
 )
 from .usim import (
     PhaseModel,
@@ -71,6 +72,7 @@ __all__ = [
     "TableSampler",
     "WorkloadGenerator",
     "OpRecord",
+    "OpSink",
     "SessionRecord",
     "UsageLog",
     "render_histogram",
@@ -86,6 +88,7 @@ __all__ = [
     "UserTypeSpec",
     "UseType",
     "WorkloadSpec",
+    "partition_user_ids",
     "PhaseModel",
     "RealRunner",
     "SessionGenerator",

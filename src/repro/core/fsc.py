@@ -160,13 +160,26 @@ class FileSystemCreator:
 
     # -- creation -------------------------------------------------------------------
 
-    def create(self, fs: FileSystemAPI) -> FileSystemLayout:
-        """Materialise the new file system on ``fs`` and return the manifest."""
+    def create(self, fs: FileSystemAPI,
+               materialize_users: "set[int] | None" = None) -> FileSystemLayout:
+        """Materialise the new file system on ``fs`` and return the manifest.
+
+        ``materialize_users`` restricts which *per-user* homes and files
+        are physically created: shared (``/system``, ``/notes``) files are
+        always built, but USER-owned files are only written for the given
+        user ids.  The returned manifest always covers the **whole**
+        population, and every size is sampled in the same order regardless
+        — so a shard that materialises only its own users still computes a
+        layout bit-identical to the full build.  This is what lets a fleet
+        shard hold ~1/K of the file bytes while simulating 1/K of the
+        users (see :mod:`repro.fleet`).
+        """
         layout = FileSystemLayout(n_users=self.spec.n_users)
         fs.makedirs("/system")
         fs.makedirs("/notes")
         for user_id in range(self.spec.n_users):
-            fs.makedirs(layout.user_home(user_id))
+            if materialize_users is None or user_id in materialize_users:
+                fs.makedirs(layout.user_home(user_id))
 
         rng = self.streams.get("fsc")
         counts = self.category_file_counts()
@@ -177,11 +190,19 @@ class FileSystemCreator:
             for index in range(count):
                 owner_user = self._owner_for(category, index)
                 path = self._path_for(layout, category, owner_user, index)
+                # Always draw the size so the FSC stream stays aligned
+                # across different materialisation subsets.
                 size = max(0, int(round(float(sampler.sample(rng)))))
-                if category.is_directory:
-                    self._create_directory(fs, path, size)
-                else:
-                    self._create_file(fs, path, size)
+                materialize = (
+                    materialize_users is None
+                    or owner_user is None
+                    or owner_user in materialize_users
+                )
+                if materialize:
+                    if category.is_directory:
+                        self._create_directory(fs, path, size)
+                    else:
+                        self._create_file(fs, path, size)
                 layout.add(
                     CreatedFile(
                         path=path,

@@ -40,7 +40,7 @@ from ..vfs import FileSystemAPI, LocalFileSystem, MemoryFileSystem
 from .analyzer import UsageAnalyzer
 from .fsc import FileSystemCreator, FileSystemLayout
 from .gds import DistributionSpecifier
-from .oplog import UsageLog
+from .oplog import OpSink, UsageLog
 from .spec import UsageSpec, UserTypeSpec, WorkloadSpec
 from .usim import PhaseModel, RealRunner, SessionGenerator, simulated_user_process
 
@@ -100,6 +100,12 @@ class RunResult:
     @property
     def analyzer(self) -> UsageAnalyzer:
         """A fresh analyzer over this run's log and layout."""
+        if not isinstance(self.log, UsageLog):
+            raise TypeError(
+                f"this run recorded into a {type(self.log).__name__}, not a "
+                "UsageLog; the analyzer needs the full operation record "
+                "(run without a custom log sink, or with collect_ops=True)"
+            )
         return UsageAnalyzer(self.log, self.layout)
 
 
@@ -173,8 +179,17 @@ class WorkloadGenerator:
 
     # -- FSC -----------------------------------------------------------------------
 
-    def create_file_system(self, fs: FileSystemAPI) -> FileSystemLayout:
-        """Run the FSC against ``fs`` using GDS file-size tables."""
+    def create_file_system(
+        self, fs: FileSystemAPI,
+        materialize_users: "set[int] | None" = None,
+    ) -> FileSystemLayout:
+        """Run the FSC against ``fs`` using GDS file-size tables.
+
+        ``materialize_users`` is forwarded to
+        :meth:`~repro.core.fsc.FileSystemCreator.create`: the manifest
+        always covers the whole population, but per-user files are only
+        physically created for the given users.
+        """
         samplers = {
             cat_spec.category.key: self._as_sampler(
                 f"file-size:{cat_spec.category.key}")
@@ -183,7 +198,7 @@ class WorkloadGenerator:
         creator = FileSystemCreator(
             self.spec, streams=self.streams, size_samplers=samplers
         )
-        return creator.create(fs)
+        return creator.create(fs, materialize_users=materialize_users)
 
     # -- USIM, simulated ---------------------------------------------------------------
 
@@ -219,6 +234,8 @@ class WorkloadGenerator:
         access_pattern: str = "sequential",
         phase_model_factory=None,
         time_limit_us: float | None = None,
+        user_ids: Iterable[int] | None = None,
+        log: OpSink | None = None,
     ) -> RunResult:
         """Full simulated experiment: FSC, then all users concurrently.
 
@@ -226,17 +243,39 @@ class WorkloadGenerator:
         starts (setup is not part of the measured workload, exactly as the
         thesis separates FSC from USIM).  Every virtual user runs
         ``sessions_per_user`` login sessions.
+
+        ``user_ids`` restricts the run to a subset of the population (the
+        fleet layer's shards).  Each selected user keeps the identity —
+        type assignment, home directory, random streams — it would have
+        in the full run, and only the selected users' files are
+        materialised on the backend store.  ``log`` lets the caller
+        supply the :class:`~repro.core.oplog.OpSink` records go to; note
+        :attr:`RunResult.analyzer` needs a real ``UsageLog``.
         """
         if sessions_per_user < 1:
             raise ValueError("sessions_per_user must be >= 1")
-        handle = self.build_simulation(backend, timing)
-        layout = self.create_file_system(handle.store)
-        log = UsageLog()
         assignment = self.spec.assign_user_types()
+        if user_ids is None:
+            selected = list(range(len(assignment)))
+        else:
+            selected = sorted(set(int(u) for u in user_ids))
+            bad = [u for u in selected if not (0 <= u < len(assignment))]
+            if bad:
+                raise ValueError(
+                    f"user_ids outside [0, {len(assignment)}): {bad}"
+                )
+        handle = self.build_simulation(backend, timing)
+        layout = self.create_file_system(
+            handle.store,
+            materialize_users=None if user_ids is None else set(selected),
+        )
+        if log is None:
+            log = UsageLog()
         tabulated = {t.name: t for t in self._tabulate_user_types()}
 
         processes = []
-        for user_id, user_type in enumerate(assignment):
+        for user_id in selected:
+            user_type = assignment[user_id]
             generator = SessionGenerator(
                 tabulated[user_type.name],
                 layout,

@@ -4,15 +4,22 @@ Every executed system call becomes an :class:`OpRecord`; every login
 session a :class:`SessionRecord`.  The log round-trips to a line-oriented
 text format so that runs can be archived and re-analysed, and the
 :class:`~repro.core.analyzer.UsageAnalyzer` consumes it directly.
+
+The executors in :mod:`repro.core.usim` record through the
+:class:`OpSink` protocol rather than the concrete :class:`UsageLog`, so a
+run may stream into any accumulator — the fleet layer
+(:mod:`repro.fleet`) uses an online statistics sink that never stores
+individual records, which is what keeps million-operation shard runs in
+constant memory.
 """
 
 from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Protocol, runtime_checkable
 
-__all__ = ["OpRecord", "SessionRecord", "UsageLog"]
+__all__ = ["OpRecord", "SessionRecord", "OpSink", "UsageLog"]
 
 _OP_FIELDS = 9
 _SESSION_FIELDS = 9
@@ -137,6 +144,20 @@ class SessionRecord:
         )
 
 
+@runtime_checkable
+class OpSink(Protocol):
+    """Anything a workload executor can record into.
+
+    :class:`UsageLog` is the archival implementation;
+    :class:`repro.fleet.merge.ShardAccumulator` is the constant-memory
+    one used for large fleet runs.
+    """
+
+    def record_op(self, record: OpRecord) -> None: ...
+
+    def record_session(self, record: SessionRecord) -> None: ...
+
+
 @dataclass
 class UsageLog:
     """The complete record of one workload run."""
@@ -156,6 +177,20 @@ class UsageLog:
         """Merge another log into this one."""
         self.operations.extend(other.operations)
         self.sessions.extend(other.sessions)
+
+    @classmethod
+    def merged(cls, logs: Iterable["UsageLog"]) -> "UsageLog":
+        """Concatenate several logs in the given order.
+
+        The fleet layer merges per-shard logs shard-by-shard, so the
+        result is deterministic for a fixed shard order even though the
+        interleaving *within* each shard followed that shard's own
+        simulation clock.
+        """
+        merged = cls()
+        for log in logs:
+            merged.extend(log)
+        return merged
 
     # -- queries ---------------------------------------------------------------
 

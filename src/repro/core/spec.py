@@ -33,7 +33,31 @@ __all__ = [
     "UserTypeSpec",
     "WorkloadSpec",
     "SpecError",
+    "partition_user_ids",
 ]
+
+
+def partition_user_ids(n_users: int, n_shards: int) -> tuple[tuple[int, ...], ...]:
+    """Deterministically partition ``range(n_users)`` into ``n_shards`` slices.
+
+    Users are dealt round-robin (user ``u`` lands in shard ``u % n_shards``),
+    so every shard receives a representative mix of the population — the
+    type assignment from :meth:`WorkloadSpec.assign_user_types` lists each
+    type's users contiguously, and a contiguous split would give whole
+    shards a single user type.  Shards are disjoint, cover the population,
+    and differ in size by at most one user.
+    """
+    if n_users < 1:
+        raise SpecError(f"n_users must be >= 1, got {n_users}")
+    if n_shards < 1:
+        raise SpecError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards > n_users:
+        raise SpecError(
+            f"cannot split {n_users} users into {n_shards} shards"
+        )
+    return tuple(
+        tuple(range(shard, n_users, n_shards)) for shard in range(n_shards)
+    )
 
 
 class SpecError(ValueError):
@@ -268,3 +292,7 @@ class WorkloadSpec:
         for user_type, count in zip(self.user_types, counts):
             assignment.extend([user_type] * count)
         return assignment[: self.n_users]
+
+    def shard_user_ids(self, n_shards: int) -> tuple[tuple[int, ...], ...]:
+        """This population's :func:`partition_user_ids` split."""
+        return partition_user_ids(self.n_users, n_shards)

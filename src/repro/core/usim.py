@@ -41,7 +41,7 @@ from ..distributions import RandomStreams
 from ..sim import Delay, Engine
 from ..vfs import FileSystemAPI, OpenFlags, Whence
 from .fsc import FileSystemLayout
-from .oplog import OpRecord, SessionRecord, UsageLog
+from .oplog import OpRecord, OpSink, SessionRecord
 from .spec import FileCategory, UsageSpec, UserTypeSpec, UseType
 
 __all__ = [
@@ -121,7 +121,16 @@ class _FilePlan:
 
 
 class SessionGenerator:
-    """Generates login-session operation streams for one virtual user."""
+    """Generates login-session operation streams for one virtual user.
+
+    Determinism contract (load-bearing for :mod:`repro.fleet`): all of a
+    user's randomness comes from ``streams.fork(f"user-{user_id}")``, a
+    family derived from the *root* seed and the user id alone.  A user's
+    operation stream is therefore identical no matter which other users
+    run alongside it or which worker process it runs in — this is what
+    makes sharded fleet runs aggregate bit-for-bit to the single-process
+    result.
+    """
 
     def __init__(
         self,
@@ -418,7 +427,7 @@ def simulated_user_process(
     client,
     generator: SessionGenerator,
     sessions: int,
-    log: UsageLog,
+    log: OpSink,
     inter_session_us: float = 0.0,
 ):
     """A DES process: one virtual user running ``sessions`` login sessions.
@@ -426,7 +435,8 @@ def simulated_user_process(
     ``client`` is any simulated file-system client
     (:class:`~repro.nfs.NfsClient`, local-disk, AFS-like).  Response time
     of every call is the engine-clock delta around it; think operations
-    become plain delays.
+    become plain delays.  ``log`` is any :class:`~repro.core.oplog.OpSink`
+    — a full :class:`~repro.core.oplog.UsageLog` or an online accumulator.
     """
     user_id = generator.user_id
     type_name = generator.user_type.name
@@ -505,7 +515,7 @@ class RealRunner:
     """
 
     def __init__(self, fs: FileSystemAPI, generator: SessionGenerator,
-                 log: UsageLog, sleep_thinks: bool = False):
+                 log: OpSink, sleep_thinks: bool = False):
         self.fs = fs
         self.generator = generator
         self.log = log

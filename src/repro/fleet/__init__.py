@@ -1,0 +1,33 @@
+"""Sharded multi-process workload generation (the fleet layer).
+
+Scales the single-engine USIM to large populations by splitting users
+across independent simulated sites executed by a process pool, then
+merging results:
+
+* :mod:`~repro.fleet.sharding` — deterministic shard plans (round-robin
+  user slices, spawned per-shard seeds);
+* :mod:`~repro.fleet.merge` — the order-invariant
+  :class:`~repro.fleet.merge.WorkloadTally` and the per-shard
+  :class:`~repro.fleet.merge.ShardAccumulator` sink;
+* :mod:`~repro.fleet.runner` — :func:`~repro.fleet.runner.run_fleet`
+  and its config/result types.
+
+The headline guarantee: for a fixed root seed, the merged workload tally
+is **bit-for-bit identical for any shard count** (timing is per-site and
+reported separately).  See ``docs/architecture.md`` for why.
+"""
+
+from .merge import ShardAccumulator, WorkloadTally
+from .runner import FleetConfig, FleetResult, ShardOutcome, run_fleet
+from .sharding import ShardPlan, plan_shards
+
+__all__ = [
+    "ShardAccumulator",
+    "WorkloadTally",
+    "FleetConfig",
+    "FleetResult",
+    "ShardOutcome",
+    "run_fleet",
+    "ShardPlan",
+    "plan_shards",
+]

@@ -1,0 +1,163 @@
+"""Shard-result aggregation: what merges exactly, and what cannot.
+
+A fleet run produces one result per shard.  Two kinds of quantity come
+back:
+
+* **Workload content** — how many sessions ran, which system calls were
+  issued, how many bytes moved, per category and per user type.  These
+  are integer counts determined solely by ``(root seed, user id)`` (see
+  :class:`repro.core.usim.SessionGenerator`'s determinism contract), so
+  summing them across shards reproduces the single-process totals
+  **bit-for-bit** for any shard count.
+* **Timing** — response times and simulated duration.  Each shard is an
+  independent simulated site (its own engine, server and network), so
+  queueing contention — and therefore timing — legitimately depends on
+  the shard topology.  Timing is merged for reporting but is *not* part
+  of the invariant aggregate.
+
+:class:`WorkloadTally` accumulates the first kind online;
+:class:`ShardAccumulator` is the :class:`~repro.core.oplog.OpSink` a
+shard records into, optionally retaining the full :class:`UsageLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.oplog import OpRecord, SessionRecord, UsageLog
+from ..sim import RunningStats
+
+__all__ = ["WorkloadTally", "ShardAccumulator"]
+
+_DATA_OPS = ("read", "write")
+
+
+@dataclass(eq=True)
+class WorkloadTally:
+    """Online, order-invariant tally of a run's workload content.
+
+    Every field is an exact integer count (or a dict of them), so
+    equality between two tallies is bitwise, and merging is plain
+    addition — associative and commutative, hence independent of shard
+    count and completion order.
+    """
+
+    sessions: int = 0
+    operations: int = 0
+    ops_by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bytes_by_category: dict[str, int] = field(default_factory=dict)
+    files_referenced: int = 0
+    file_bytes_referenced: int = 0
+    sessions_by_type: dict[str, int] = field(default_factory=dict)
+
+    # -- OpSink-shaped recording ---------------------------------------------
+
+    def record_op(self, record: OpRecord) -> None:
+        """Fold one executed system call into the tally."""
+        self.operations += 1
+        kind = record.op
+        self.ops_by_kind[kind] = self.ops_by_kind.get(kind, 0) + 1
+        if kind == "read":
+            self.bytes_read += record.size
+        elif kind == "write":
+            self.bytes_written += record.size
+        if kind in _DATA_OPS and record.category_key:
+            key = record.category_key
+            self.bytes_by_category[key] = (
+                self.bytes_by_category.get(key, 0) + record.size
+            )
+
+    def record_session(self, record: SessionRecord) -> None:
+        """Fold one login session's summary into the tally."""
+        self.sessions += 1
+        self.files_referenced += record.files_referenced
+        self.file_bytes_referenced += record.file_bytes_referenced
+        self.sessions_by_type[record.user_type] = (
+            self.sessions_by_type.get(record.user_type, 0) + 1
+        )
+
+    # -- merging / reporting ---------------------------------------------------
+
+    def merge(self, other: "WorkloadTally") -> "WorkloadTally":
+        """Sum of two tallies (new object; operands untouched)."""
+        merged = WorkloadTally(
+            sessions=self.sessions + other.sessions,
+            operations=self.operations + other.operations,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            files_referenced=self.files_referenced + other.files_referenced,
+            file_bytes_referenced=(
+                self.file_bytes_referenced + other.file_bytes_referenced
+            ),
+        )
+        for attr in ("ops_by_kind", "bytes_by_category", "sessions_by_type"):
+            combined = dict(getattr(self, attr))
+            for key, value in getattr(other, attr).items():
+                combined[key] = combined.get(key, 0) + value
+            setattr(merged, attr, combined)
+        return merged
+
+    @classmethod
+    def merge_all(cls, parts: Iterable["WorkloadTally"]) -> "WorkloadTally":
+        """Sum many tallies."""
+        merged = cls()
+        for part in parts:
+            merged = merged.merge(part)
+        return merged
+
+    @classmethod
+    def from_log(cls, log: UsageLog) -> "WorkloadTally":
+        """Replay an archived log into a tally."""
+        tally = cls()
+        for op in log.operations:
+            tally.record_op(op)
+        for session in log.sessions:
+            tally.record_session(session)
+        return tally
+
+    def as_kv(self) -> dict[str, int]:
+        """Flat, deterministically ordered dict (report and test surface)."""
+        kv: dict[str, int] = {
+            "sessions": self.sessions,
+            "operations": self.operations,
+            "bytes read": self.bytes_read,
+            "bytes written": self.bytes_written,
+            "files referenced": self.files_referenced,
+            "file bytes referenced": self.file_bytes_referenced,
+        }
+        for kind in sorted(self.ops_by_kind):
+            kv[f"ops[{kind}]"] = self.ops_by_kind[kind]
+        for key in sorted(self.bytes_by_category):
+            kv[f"bytes[{key}]"] = self.bytes_by_category[key]
+        for name in sorted(self.sessions_by_type):
+            kv[f"sessions[{name}]"] = self.sessions_by_type[name]
+        return kv
+
+
+class ShardAccumulator:
+    """The :class:`~repro.core.oplog.OpSink` one shard records into.
+
+    Always maintains the :class:`WorkloadTally` and a response-time
+    :class:`~repro.sim.RunningStats` online; retains the raw
+    :class:`UsageLog` only when ``collect_ops=True`` (memory grows with
+    operation count, so fleet runs default to stats-only).
+    """
+
+    def __init__(self, collect_ops: bool = False):
+        self.tally = WorkloadTally()
+        self.response_us = RunningStats()
+        self.log: UsageLog | None = UsageLog() if collect_ops else None
+
+    def record_op(self, record: OpRecord) -> None:
+        self.tally.record_op(record)
+        self.response_us.add(record.response_us)
+        if self.log is not None:
+            self.log.record_op(record)
+
+    def record_session(self, record: SessionRecord) -> None:
+        self.tally.record_session(record)
+        if self.log is not None:
+            self.log.record_session(record)

@@ -1,0 +1,300 @@
+"""Multi-process fleet execution.
+
+``run_fleet`` shards a population across worker processes: each shard
+rebuilds the workload (same root seed → same FSC layout, same per-user
+streams), simulates only its slice of users on its own discrete-event
+engine, and ships back an online :class:`~repro.fleet.merge.WorkloadTally`
+plus timing.  The coordinator merges shard results in shard order.
+
+Execution model
+---------------
+
+* ``shards`` is a **semantic** knob: how many independent simulated
+  sites the population is split across.  Each shard has its own engine,
+  server and network, so users only contend with users in their shard.
+* ``workers`` is a **mechanical** knob: how many OS processes execute
+  shards.  ``workers=1`` runs every shard in-process (no multiprocessing
+  involved); results are identical either way, which is the property the
+  fleet tests pin down.
+
+Workers are handed plain picklable data: the resolved
+:class:`~repro.core.spec.WorkloadSpec` (frozen dataclasses of floats),
+the execution options, and a :class:`~repro.fleet.sharding.ShardPlan`.
+Scenario resolution happens **once, in the coordinator** — so custom
+scenarios registered by the calling script work under any
+multiprocessing start method, including spawn, where workers re-import
+a fresh registry.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..core.generator import WorkloadGenerator
+from ..core.oplog import UsageLog
+from ..core.spec import SpecError, WorkloadSpec
+from ..core.usim import PhaseModel
+from ..sim import RunningStats
+from .merge import ShardAccumulator, WorkloadTally
+from .sharding import ShardPlan, plan_shards
+
+__all__ = ["FleetConfig", "ShardOutcome", "FleetResult", "run_fleet"]
+
+_BACKENDS = ("nfs", "local", "afs")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything a fleet run needs; plain data, safe to pickle.
+
+    Exactly one of ``scenario`` (a name in :mod:`repro.scenarios`) or
+    ``spec`` (an explicit :class:`~repro.core.spec.WorkloadSpec`) must be
+    set.  With an explicit spec, the population size and seed come from
+    the spec itself and ``users``/``seed``/``total_files`` are ignored.
+    ``access_pattern`` and ``use_phase_model`` default to the scenario's
+    settings (scenario configs) or to ``sequential``/off (explicit-spec
+    configs); set them to override either way.
+
+    Caveat: ``time_limit_us`` truncates each shard at its *own* simulated
+    clock, and simulated time depends on per-site queueing — so with a
+    time limit the merged aggregate is **not** shard-count-invariant.
+    The bit-for-bit guarantee holds only for run-to-completion fleets
+    (``time_limit_us=None``).
+    """
+
+    scenario: str | None = None
+    spec: WorkloadSpec | None = None
+    users: int = 100
+    shards: int = 1
+    workers: int | None = None
+    sessions_per_user: int | None = None
+    seed: int = 0
+    backend: str = "nfs"
+    total_files: int | None = None
+    collect_ops: bool = False
+    time_limit_us: float | None = None
+    access_pattern: str | None = None
+    use_phase_model: bool | None = None
+
+    def __post_init__(self):
+        if (self.scenario is None) == (self.spec is None):
+            raise SpecError(
+                "set exactly one of FleetConfig.scenario or FleetConfig.spec"
+            )
+        if self.access_pattern not in (None, "sequential", "random"):
+            raise SpecError(
+                f"access_pattern must be sequential|random, got "
+                f"{self.access_pattern!r}"
+            )
+        if self.backend not in _BACKENDS:
+            raise SpecError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
+        if self.shards < 1:
+            raise SpecError(f"shards must be >= 1, got {self.shards}")
+        if self.workers is not None and self.workers < 1:
+            raise SpecError(f"workers must be >= 1, got {self.workers}")
+        if self.sessions_per_user is not None and self.sessions_per_user < 1:
+            raise SpecError("sessions_per_user must be >= 1")
+
+    @property
+    def n_users(self) -> int:
+        """Population size (from the spec when one is given)."""
+        return self.spec.n_users if self.spec is not None else self.users
+
+    @property
+    def root_seed(self) -> int:
+        """Root seed (from the spec when one is given)."""
+        return self.spec.seed if self.spec is not None else self.seed
+
+    def effective_workers(self) -> int:
+        """Worker process count: ``workers`` capped by shards and cores."""
+        if self.workers is not None:
+            return min(self.workers, self.shards)
+        return min(self.shards, os.cpu_count() or 1)
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard sends back to the coordinator."""
+
+    shard_index: int
+    shard_seed: int
+    user_ids: tuple[int, ...]
+    tally: WorkloadTally
+    response_us: RunningStats
+    simulated_us: float
+    wall_s: float
+    log: UsageLog | None = None
+
+
+@dataclass
+class FleetResult:
+    """Merged outcome of a fleet run."""
+
+    config: FleetConfig
+    outcomes: list[ShardOutcome]
+    tally: WorkloadTally
+    response_us: RunningStats
+    wall_s: float
+    log: UsageLog | None = None
+    plans: tuple[ShardPlan, ...] = field(default=())
+
+    @property
+    def simulated_us(self) -> float:
+        """Fleet-level simulated duration: the slowest shard's clock."""
+        return max((o.simulated_us for o in self.outcomes), default=0.0)
+
+    def aggregate_kv(self) -> dict[str, int]:
+        """The shard-invariant aggregate (bit-for-bit across shard counts)."""
+        return self.tally.as_kv()
+
+    def timing_kv(self) -> dict[str, float]:
+        """Topology-dependent timing summary (NOT shard-invariant)."""
+        summary = self.response_us.summary()
+        return {
+            "wall clock (s)": self.wall_s,
+            "simulated duration (µs)": self.simulated_us,
+            "mean response (µs)": summary["mean"],
+            "response std (µs)": summary["std"],
+            "ops per wall second": (
+                self.tally.operations / self.wall_s if self.wall_s > 0 else 0.0
+            ),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Fully resolved work order for one shard — no registry lookups left."""
+
+    spec: WorkloadSpec
+    plan: ShardPlan
+    backend: str
+    access_pattern: str
+    use_phase_model: bool
+    sessions_per_user: int
+    collect_ops: bool
+    time_limit_us: float | None
+
+
+def _resolve_run_inputs(config: FleetConfig):
+    """Spec + execution options, resolved once in the coordinator."""
+    if config.spec is not None:
+        spec = config.spec
+        pattern = config.access_pattern or "sequential"
+        phases = bool(config.use_phase_model)
+        sessions = config.sessions_per_user or 1
+    else:
+        from ..scenarios import get_scenario  # deferred: scenarios import core
+
+        scenario = get_scenario(config.scenario)
+        spec = scenario.build(
+            config.users, config.seed, total_files=config.total_files
+        )
+        pattern = config.access_pattern or scenario.access_pattern
+        phases = (scenario.use_phase_model if config.use_phase_model is None
+                  else config.use_phase_model)
+        sessions = config.sessions_per_user or scenario.default_sessions
+    return spec, pattern, phases, sessions
+
+
+def _run_shard(task: _ShardTask) -> ShardOutcome:
+    """Execute one shard (runs inside a worker process or in-process)."""
+    plan = task.plan
+    started = time.perf_counter()
+    sink = ShardAccumulator(collect_ops=task.collect_ops)
+    generator = WorkloadGenerator(task.spec)
+    result = generator.run_simulated(
+        sessions_per_user=task.sessions_per_user,
+        backend=task.backend,
+        access_pattern=task.access_pattern,
+        phase_model_factory=PhaseModel if task.use_phase_model else None,
+        time_limit_us=task.time_limit_us,
+        user_ids=plan.user_ids,
+        log=sink,
+    )
+    return ShardOutcome(
+        shard_index=plan.shard_index,
+        shard_seed=plan.shard_seed,
+        user_ids=plan.user_ids,
+        tally=sink.tally,
+        response_us=sink.response_us,
+        simulated_us=result.simulated_duration_us,
+        wall_s=time.perf_counter() - started,
+        log=sink.log,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+def _pool_context():
+    """Prefer fork (fast, inherits sys.path); fall back to the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_fleet(config: FleetConfig) -> FleetResult:
+    """Run a sharded fleet and merge the per-shard results.
+
+    Raises :class:`~repro.core.spec.SpecError` for inconsistent configs
+    and :class:`~repro.scenarios.ScenarioError` for unknown scenario
+    names (resolved eagerly, before any worker starts).
+    """
+    # Resolve the scenario/spec once, before spawning anything: workers
+    # receive the built spec, never a registry name.
+    spec, pattern, phases, sessions = _resolve_run_inputs(config)
+    if config.spec is None and spec.n_users != config.users:
+        raise SpecError(
+            f"scenario {config.scenario!r} built {spec.n_users} users, "
+            f"expected {config.users}"
+        )
+    plans = plan_shards(spec.n_users, config.shards, config.root_seed)
+    tasks = [
+        _ShardTask(
+            spec=spec,
+            plan=plan,
+            backend=config.backend,
+            access_pattern=pattern,
+            use_phase_model=phases,
+            sessions_per_user=sessions,
+            collect_ops=config.collect_ops,
+            time_limit_us=config.time_limit_us,
+        )
+        for plan in plans
+    ]
+    workers = config.effective_workers()
+
+    started = time.perf_counter()
+    if workers == 1:
+        outcomes = [_run_shard(task) for task in tasks]
+    else:
+        with _pool_context().Pool(processes=workers) as pool:
+            outcomes = pool.map(_run_shard, tasks)
+    wall_s = time.perf_counter() - started
+
+    outcomes.sort(key=lambda o: o.shard_index)
+    merged_log = None
+    if config.collect_ops:
+        merged_log = UsageLog.merged(o.log for o in outcomes)
+    return FleetResult(
+        config=config,
+        outcomes=outcomes,
+        tally=WorkloadTally.merge_all(o.tally for o in outcomes),
+        response_us=RunningStats.merge_all(o.response_us for o in outcomes),
+        wall_s=wall_s,
+        log=merged_log,
+        plans=plans,
+    )

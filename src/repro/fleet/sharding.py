@@ -1,0 +1,59 @@
+"""Shard planning: who runs where, with which seeds.
+
+A fleet run splits a population of ``users`` virtual users into
+``shards`` independent simulated sites.  The plan is pure data computed
+up front in the coordinating process:
+
+* user ids are dealt round-robin
+  (:func:`repro.core.spec.partition_user_ids`), so every shard gets a
+  representative slice of the user-type mix;
+* every shard gets a *derived* seed spawned from the root seed via
+  :meth:`repro.distributions.RandomStreams.spawn_seed` — shard-local
+  randomness (e.g. future fault injection, arrival jitter) must draw
+  from this family, **never** from the root streams, so that adding
+  shard-local draws can never perturb the workload content;
+* the workload spec itself is always built from the **root** seed inside
+  each worker, because user streams and the FSC layout must be identical
+  across all shards for the merged tally to match the single-process run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.spec import partition_user_ids
+from ..distributions import RandomStreams
+
+__all__ = ["ShardPlan", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's identity: index, user slice, derived seed."""
+
+    shard_index: int
+    n_shards: int
+    user_ids: tuple[int, ...]
+    root_seed: int
+    shard_seed: int
+
+    @property
+    def n_users(self) -> int:
+        """Users simulated by this shard."""
+        return len(self.user_ids)
+
+
+def plan_shards(n_users: int, n_shards: int, seed: int) -> tuple[ShardPlan, ...]:
+    """Compute the full fleet plan for a population and shard count."""
+    streams = RandomStreams(seed)
+    slices = partition_user_ids(n_users, n_shards)
+    return tuple(
+        ShardPlan(
+            shard_index=index,
+            n_shards=n_shards,
+            user_ids=user_ids,
+            root_seed=seed,
+            shard_seed=streams.spawn_seed(f"shard-{index}"),
+        )
+        for index, user_ids in enumerate(slices)
+    )

@@ -32,6 +32,7 @@ from .figures import (
     table_5_3,
     table_5_4,
 )
+from .fleet import fleet_aggregate_block, fleet_report
 from .report import format_kv, format_series, format_table
 
 __all__ = [
@@ -60,6 +61,8 @@ __all__ = [
     "table_5_2",
     "table_5_3",
     "table_5_4",
+    "fleet_aggregate_block",
+    "fleet_report",
     "format_kv",
     "format_series",
     "format_table",

@@ -1,0 +1,64 @@
+"""Report formatting for fleet runs.
+
+The report separates the two kinds of result a fleet produces (see
+:mod:`repro.fleet.merge`):
+
+* the **aggregate workload statistics** block — shard-invariant integer
+  tallies; for a fixed root seed this block is byte-identical no matter
+  how many shards or worker processes ran it (the fleet tests compare
+  these blocks as strings);
+* the **timing** block and per-shard table — each shard is its own
+  simulated site, so these legitimately change with the topology.
+"""
+
+from __future__ import annotations
+
+from ..fleet import FleetResult
+from .report import format_kv, format_table
+
+__all__ = ["fleet_aggregate_block", "fleet_report"]
+
+
+def fleet_aggregate_block(result: FleetResult) -> str:
+    """The shard-invariant block alone (stable across shard counts)."""
+    return format_kv(
+        result.aggregate_kv(),
+        title="Aggregate workload statistics (shard-invariant)",
+    )
+
+
+def fleet_report(result: FleetResult) -> str:
+    """The full human-readable fleet run report."""
+    config = result.config
+    header = format_kv(
+        {
+            "scenario": config.scenario or "(explicit spec)",
+            "users": config.n_users,
+            "shards": config.shards,
+            "workers": config.effective_workers(),
+            "seed": config.root_seed,
+            "backend": config.backend,
+        },
+        title="Fleet run",
+    )
+    shard_table = format_table(
+        ["shard", "users", "ops", "sessions", "simulated µs", "wall s"],
+        [
+            (
+                outcome.shard_index,
+                len(outcome.user_ids),
+                outcome.tally.operations,
+                outcome.tally.sessions,
+                outcome.simulated_us,
+                outcome.wall_s,
+            )
+            for outcome in result.outcomes
+        ],
+        title="Per-shard (each shard is an independent simulated site)",
+    )
+    timing = format_kv(
+        result.timing_kv(), title="Timing (topology-dependent)"
+    )
+    return "\n\n".join(
+        [header, fleet_aggregate_block(result), shard_table, timing]
+    )

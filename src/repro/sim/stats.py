@@ -95,6 +95,19 @@ class RunningStats:
         merged.maximum = max(self.maximum, other.maximum)
         return merged
 
+    @classmethod
+    def merge_all(cls, parts: Iterable["RunningStats"]) -> "RunningStats":
+        """Fold many accumulators into one (left-to-right pairwise merge).
+
+        Used by the fleet layer to combine per-shard response-time stats;
+        the merge order is the shard order, so the result is deterministic
+        for a fixed shard count.
+        """
+        merged = cls()
+        for part in parts:
+            merged = merged.merge(part)
+        return merged
+
     def summary(self) -> dict[str, float]:
         """Plain-dict snapshot for reports."""
         return {

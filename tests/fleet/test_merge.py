@@ -1,0 +1,98 @@
+"""WorkloadTally / ShardAccumulator: online tallies merge exactly."""
+
+from repro.core import OpRecord, OpSink, SessionRecord, UsageLog
+from repro.fleet import ShardAccumulator, WorkloadTally
+
+
+def _op(op="read", size=100, category="REG:USER:RDONLY", user=0):
+    return OpRecord(
+        user_id=user, user_type="heavy", session_id=0, op=op,
+        path="/user00/f", category_key=category, size=size,
+        start_us=0.0, response_us=12.5,
+    )
+
+
+def _session(user=0, files=3, accessed=500, referenced=900, utype="heavy"):
+    return SessionRecord(
+        user_id=user, user_type=utype, session_id=0, start_us=0.0,
+        end_us=10.0, files_referenced=files, bytes_accessed=accessed,
+        file_bytes_referenced=referenced, categories=("REG:USER:RDONLY",),
+    )
+
+
+class TestWorkloadTally:
+    def test_counts_ops_and_bytes(self):
+        tally = WorkloadTally()
+        tally.record_op(_op("read", 100))
+        tally.record_op(_op("write", 40))
+        tally.record_op(_op("open", 0))
+        assert tally.operations == 3
+        assert tally.bytes_read == 100
+        assert tally.bytes_written == 40
+        assert tally.ops_by_kind == {"read": 1, "write": 1, "open": 1}
+        assert tally.bytes_by_category == {"REG:USER:RDONLY": 140}
+
+    def test_counts_sessions(self):
+        tally = WorkloadTally()
+        tally.record_session(_session(utype="heavy"))
+        tally.record_session(_session(utype="light"))
+        assert tally.sessions == 2
+        assert tally.files_referenced == 6
+        assert tally.sessions_by_type == {"heavy": 1, "light": 1}
+
+    def test_merge_equals_sequential_recording(self):
+        ops = [_op("read", s) for s in (10, 20, 30, 40)]
+        whole = WorkloadTally()
+        for op in ops:
+            whole.record_op(op)
+        left, right = WorkloadTally(), WorkloadTally()
+        for op in ops[:2]:
+            left.record_op(op)
+        for op in ops[2:]:
+            right.record_op(op)
+        assert left.merge(right) == whole
+        # merge is symmetric for the aggregate
+        assert right.merge(left) == whole
+
+    def test_merge_all_and_from_log_agree(self):
+        log = UsageLog()
+        log.record_op(_op("read", 64))
+        log.record_op(_op("write", 32, category="REG:USER:NEW"))
+        log.record_session(_session())
+        replayed = WorkloadTally.from_log(log)
+        online = WorkloadTally()
+        for op in log.operations:
+            online.record_op(op)
+        for session in log.sessions:
+            online.record_session(session)
+        assert replayed == online
+        assert WorkloadTally.merge_all([replayed]) == online
+
+    def test_as_kv_deterministic_order(self):
+        tally = WorkloadTally()
+        tally.record_op(_op("write", 1, category="Z"))
+        tally.record_op(_op("read", 1, category="A"))
+        keys = list(tally.as_kv())
+        assert keys.index("bytes[A]") < keys.index("bytes[Z]")
+
+
+class TestShardAccumulator:
+    def test_is_an_opsink(self):
+        assert isinstance(ShardAccumulator(), OpSink)
+        assert isinstance(UsageLog(), OpSink)
+
+    def test_stats_only_mode_drops_records(self):
+        sink = ShardAccumulator(collect_ops=False)
+        sink.record_op(_op())
+        sink.record_session(_session())
+        assert sink.log is None
+        assert sink.tally.operations == 1
+        assert sink.response_us.count == 1
+
+    def test_collect_mode_retains_log(self):
+        sink = ShardAccumulator(collect_ops=True)
+        sink.record_op(_op())
+        sink.record_session(_session())
+        assert len(sink.log.operations) == 1
+        assert len(sink.log.sessions) == 1
+        assert WorkloadTally.from_log(sink.log) == sink.tally

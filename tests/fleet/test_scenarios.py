@@ -1,0 +1,95 @@
+"""Scenario registry round-trips: every entry builds and runs."""
+
+import pytest
+
+from repro.fleet import FleetConfig, run_fleet
+from repro.scenarios import (
+    Scenario,
+    ScenarioError,
+    build_scenario_spec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+EXPECTED = {
+    "paper-campus",
+    "mixed-campus",
+    "dev-team",
+    "batch-heavy",
+    "database-random",
+    "interactive-light",
+}
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        assert EXPECTED <= set(scenario_names())
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ScenarioError, match="mixed-campus"):
+            get_scenario("no-such-mix")
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_scenario("paper-campus")
+        with pytest.raises(ValueError):
+            register_scenario(existing)
+        # replace=True is the explicit override
+        assert register_scenario(existing, replace=True) is existing
+
+    def test_bad_access_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", description="", build=lambda *a, **k: None,
+                     access_pattern="strided")
+
+
+class TestScenarioBuilds:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    @pytest.mark.parametrize("users", [1, 4, 13])
+    def test_builds_valid_spec(self, name, users):
+        spec = build_scenario_spec(name, users=users, seed=5)
+        # WorkloadSpec.__post_init__ already validates; check the contract
+        assert spec.n_users == users
+        assert spec.seed == 5
+        assert spec.total_files >= 1
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_total_files_override(self, name):
+        spec = build_scenario_spec(name, users=3, seed=0, total_files=77)
+        assert spec.total_files == 77
+
+    def test_default_files_scale_with_population(self):
+        small = build_scenario_spec("dev-team", users=10, seed=0)
+        large = build_scenario_spec("dev-team", users=100, seed=0)
+        assert large.total_files > small.total_files
+
+
+class TestScenarioRuns:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_short_sharded_run_completes(self, name):
+        result = run_fleet(FleetConfig(
+            scenario=name, users=4, shards=2, workers=1, seed=3,
+            total_files=80,
+        ))
+        assert result.tally.sessions == 4
+        assert result.tally.operations > 0
+        assert result.simulated_us >= 0.0
+
+    def test_database_random_actually_seeks(self):
+        result = run_fleet(FleetConfig(
+            scenario="database-random", users=4, shards=2, workers=1,
+            seed=3, total_files=80,
+        ))
+        # random access mode seeks before every chunk
+        assert result.tally.ops_by_kind.get("lseek", 0) >= (
+            result.tally.ops_by_kind.get("read", 0)
+            + result.tally.ops_by_kind.get("write", 0)
+        ) * 0.5
+
+    def test_batch_heavy_writes_new_files(self):
+        result = run_fleet(FleetConfig(
+            scenario="batch-heavy", users=4, shards=2, workers=1, seed=3,
+            total_files=80,
+        ))
+        assert result.tally.ops_by_kind.get("creat", 0) > 0
+        assert result.tally.bytes_written > 0

@@ -19,6 +19,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figures", "fig9.9"])
 
+    def test_fleet_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet"])
+
+    def test_fleet_run_defaults(self):
+        args = build_parser().parse_args(["fleet", "run"])
+        assert args.scenario == "paper-campus"
+        assert args.shards == 1
+        assert args.workers is None
+
 
 class TestCommands:
     def test_simulate(self, capsys):
@@ -60,3 +70,33 @@ class TestCommands:
         assert code == 0
         assert "comparison" in out
         assert "nfs" in out
+
+    def test_fleet_scenarios(self, capsys):
+        code = main(["fleet", "scenarios"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mixed-campus" in out
+        assert "database-random" in out
+
+    def test_fleet_run(self, capsys):
+        code = main(["fleet", "run", "--scenario", "mixed-campus",
+                     "--users", "4", "--shards", "2", "--workers", "1",
+                     "--seed", "7", "--files", "80"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Aggregate workload statistics (shard-invariant)" in out
+        assert "Timing (topology-dependent)" in out
+
+    def test_fleet_run_writes_oplog(self, tmp_path, capsys):
+        target = tmp_path / "fleet.log"
+        code = main(["fleet", "run", "--scenario", "dev-team",
+                     "--users", "2", "--shards", "2", "--workers", "1",
+                     "--files", "60", "--oplog", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "written to" in out
+        from repro.core import UsageLog
+
+        log = UsageLog.load(target.read_text().splitlines())
+        assert len(log.sessions) == 2
+        assert len(log.operations) > 0
