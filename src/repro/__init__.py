@@ -18,6 +18,8 @@ The package provides:
   mixes (campus, dev team, batch, database, ...);
 * :mod:`repro.fleet` — sharded multi-process generation for large
   populations, with deterministic merged statistics;
+* :mod:`repro.traces` — external-trace ingestion (CSV/JSONL/strace/
+  nfsdump), spec calibration, and closed-loop fidelity validation;
 * :mod:`repro.harness` — one function per paper table and figure.
 
 Quickstart::
@@ -35,6 +37,14 @@ Scaling out::
     result = run_fleet(FleetConfig(scenario="mixed-campus",
                                    users=1000, shards=4, seed=7))
     print(result.aggregate_kv())
+
+Calibrating from a trace::
+
+    from repro.traces import calibrate_trace_file, validate_spec
+
+    cal = calibrate_trace_file("examples/example_trace.csv", seed=5)
+    report = validate_spec(cal.spec, cal.log, cal.size_index)
+    print(report.formatted())
 """
 
 from .core import (

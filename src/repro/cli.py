@@ -9,7 +9,12 @@ experiments:
 * ``compare`` — the section 5.3 file-system comparison;
 * ``mkfs`` — create the initial file system in a directory (FSC only);
 * ``fleet run`` — sharded multi-process generation from a named scenario;
-* ``fleet scenarios`` — list the scenario library.
+* ``fleet scenarios`` — list the scenario library;
+* ``characterize`` — re-derive the Table 5.2 characterization from a log;
+* ``trace import`` — parse an external trace into the usage-log format;
+* ``trace calibrate`` — fit a workload spec (JSON artefact) to a trace;
+* ``trace validate`` — closed-loop fidelity check of a calibrated spec;
+* ``trace formats`` — list the trace adapters.
 """
 
 from __future__ import annotations
@@ -133,6 +138,80 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also collect and write the merged usage log")
 
     fleet_sub.add_parser("scenarios", help="list the scenario library")
+
+    char = sub.add_parser(
+        "characterize",
+        help="re-derive the Table 5.2 characterization from a usage log",
+    )
+    char.add_argument("logfile", help="a usage log (e.g. fleet run --oplog)")
+    char.add_argument("--json", action="store_true",
+                      help="emit JSON instead of the table")
+
+    trace = sub.add_parser(
+        "trace", help="trace ingestion, calibration and validation"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def trace_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--format", dest="fmt", default=None,
+                       help="trace format (default: sniff); "
+                            "see `trace formats`")
+        p.add_argument("--gap-us", type=float, default=None,
+                       help="idle gap (µs) that splits sessions when the "
+                            "trace has no session records (default 30 min)")
+        p.add_argument("--strict", action="store_true",
+                       help="fail on the first malformed line")
+
+    trace_sub.add_parser("formats", help="list the trace adapters")
+
+    t_import = trace_sub.add_parser(
+        "import", help="parse an external trace into the usage-log format"
+    )
+    t_import.add_argument("tracefile")
+    trace_common(t_import)
+    t_import.add_argument("-o", "--output", default=None,
+                          help="output usage-log path (default: stdout)")
+
+    t_cal = trace_sub.add_parser(
+        "calibrate", help="fit a WorkloadSpec to a trace; write spec JSON"
+    )
+    t_cal.add_argument("tracefile")
+    trace_common(t_cal)
+    t_cal.add_argument("-o", "--output", default=None,
+                       help="spec JSON path (default: <trace>.spec.json)")
+    t_cal.add_argument("--method", choices=("fit", "empirical", "exponential"),
+                       default="fit",
+                       help="how measure samples become distributions")
+    t_cal.add_argument("--seed", type=int, default=0)
+    t_cal.add_argument("--users", type=int, default=None,
+                       help="spec population (default: users seen in trace)")
+    t_cal.add_argument("--total-files", type=int, default=None,
+                       help="spec FSC size (default: paths seen in trace)")
+    t_cal.add_argument("--name", default="calibrated",
+                       help="user-type name in the spec")
+
+    t_val = trace_sub.add_parser(
+        "validate",
+        help="closed loop: regenerate from a calibrated spec and compare",
+    )
+    t_val.add_argument("specfile", help="spec JSON from `trace calibrate`")
+    t_val.add_argument("--against", required=True, metavar="TRACE",
+                       help="the source trace to compare the synthetic "
+                            "workload with")
+    trace_common(t_val)
+    t_val.add_argument("--sessions", type=int, default=None,
+                       help="synthetic sessions per user "
+                            "(default: match the source)")
+    t_val.add_argument("--shards", type=int, default=1,
+                       help="regenerate via the fleet layer when > 1")
+    t_val.add_argument("--backend", choices=("nfs", "local", "afs"),
+                       default="nfs")
+    t_val.add_argument("--threshold", type=float, default=None,
+                       help="KS pass/fail threshold (default 0.35)")
+    t_val.add_argument("--seed", type=int, default=None,
+                       help="override the spec's seed for regeneration")
+    t_val.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the report as JSON")
     return parser
 
 
@@ -196,6 +275,10 @@ def main(argv: list[str] | None = None) -> int:
         ))
     elif args.command == "fleet":
         return _main_fleet(args)
+    elif args.command == "characterize":
+        return _main_characterize(args)
+    elif args.command == "trace":
+        return _main_trace(args)
     elif args.command == "figures":
         print(_FIGURES[args.ident]().formatted())
     elif args.command == "compare":
@@ -273,6 +356,183 @@ def _main_fleet(args: argparse.Namespace) -> int:
         print(f"\nmerged usage log ({len(result.log.operations)} ops) "
               f"written to {args.oplog}")
     return 0
+
+
+def _main_characterize(args: argparse.Namespace) -> int:
+    from .core import UsageAnalyzer, UsageLog
+    from .harness import format_table
+
+    try:
+        with open(args.logfile, "r", encoding="utf-8") as stream:
+            log = UsageLog.load(stream)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read usage log: {exc}", file=sys.stderr)
+        return 2
+    rows = UsageAnalyzer(log).characterization()
+    if args.json:
+        import json
+
+        print(json.dumps(
+            [
+                {
+                    "category": row.category_key,
+                    "mean_accesses_per_byte": row.mean_accesses_per_byte,
+                    "mean_file_size": row.mean_file_size,
+                    "mean_files": row.mean_files,
+                    "percent_of_users": row.percent_of_users,
+                    "sessions_accessing": row.sessions_accessing,
+                }
+                for row in rows
+            ],
+            indent=2,
+        ))
+        return 0
+    print(format_table(
+        ["category", "accesses/byte", "file size", "# files",
+         "% of users", "sessions"],
+        [
+            (row.category_key, row.mean_accesses_per_byte,
+             row.mean_file_size, row.mean_files,
+             row.percent_of_users, row.sessions_accessing)
+            for row in rows
+        ],
+        title=f"Characterization of {args.logfile} "
+              f"({len(log.sessions)} sessions, "
+              f"{len(log.operations)} operations)",
+    ))
+    return 0
+
+
+def _main_trace(args: argparse.Namespace) -> int:
+    from .harness import format_kv, format_table
+    from .traces import (
+        DEFAULT_GAP_US,
+        TraceError,
+        adapter_names,
+        calibrate_trace_file,
+        get_adapter,
+        ingest_trace_file,
+        validate_spec,
+    )
+
+    if args.trace_command == "formats":
+        rows = []
+        for name in adapter_names():
+            rows.append((name, get_adapter(name).description))
+        print(format_table(["format", "description"], rows,
+                           title="Trace adapters"))
+        return 0
+
+    gap_us = args.gap_us if args.gap_us is not None else DEFAULT_GAP_US
+
+    if args.trace_command == "import":
+        from .core import UsageLog
+
+        log = UsageLog()
+        try:
+            stats, _sizes = ingest_trace_file(
+                args.tracefile, log, fmt=args.fmt, gap_us=gap_us,
+                strict=args.strict,
+            )
+        except (OSError, TraceError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_kv(stats.as_kv(), title="Trace import"), file=sys.stderr)
+        if stats.issues_total:
+            for issue in stats.issue_sample:
+                print(f"  {issue}", file=sys.stderr)
+        if args.output is None:
+            log.dump(sys.stdout)
+        else:
+            with open(args.output, "w", encoding="utf-8") as stream:
+                log.dump(stream)
+            print(f"usage log written to {args.output}", file=sys.stderr)
+        return 0
+
+    if args.trace_command == "calibrate":
+        from .core import dump_spec
+
+        try:
+            result = calibrate_trace_file(
+                args.tracefile, fmt=args.fmt, gap_us=gap_us,
+                method=args.method, seed=args.seed, n_users=args.users,
+                total_files=args.total_files, user_type_name=args.name,
+                strict=args.strict,
+            )
+        except (OSError, TraceError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        out = args.output or args.tracefile + ".spec.json"
+        try:
+            with open(out, "w", encoding="utf-8") as stream:
+                dump_spec(result.spec, stream,
+                          meta=result.meta(args.tracefile))
+        except OSError as exc:
+            print(f"error: cannot write spec: {exc}", file=sys.stderr)
+            return 2
+        print(format_kv(result.stats.as_kv(), title="Trace calibration"))
+        if result.stats.issues_total:
+            for issue in result.stats.issue_sample:
+                print(f"  {issue}")
+        spec = result.spec
+        print(format_kv(
+            {
+                "user types": ", ".join(t.name for t in spec.user_types),
+                "categories": len(spec.file_categories),
+                "population (n_users)": spec.n_users,
+                "total files": spec.total_files,
+                "think time": spec.user_types[0].think_time.describe(),
+                "access size": spec.user_types[0].access_size.describe(),
+            },
+            title="Calibrated spec",
+        ))
+        print(f"\nspec written to {out}")
+        return 0
+
+    if args.trace_command == "validate":
+        from .core import SpecError, UsageLog, loads_spec
+
+        try:
+            with open(args.specfile, "r", encoding="utf-8") as stream:
+                spec, meta = loads_spec(stream.read())
+        except (OSError, SpecError) as exc:
+            print(f"error: cannot load spec: {exc}", file=sys.stderr)
+            return 2
+        # The calibration's idle gap is the right default for re-ingesting
+        # the same source trace.
+        if args.gap_us is None and isinstance(meta.get("gap_us"), (int, float)):
+            gap_us = float(meta["gap_us"])
+        source_log = UsageLog()
+        try:
+            _stats, sizes = ingest_trace_file(
+                args.against, source_log, fmt=args.fmt, gap_us=gap_us,
+                strict=args.strict,
+            )
+        except (OSError, TraceError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        from .traces import DEFAULT_KS_THRESHOLD
+
+        report = validate_spec(
+            spec, source_log, sizes,
+            sessions_per_user=args.sessions,
+            shards=args.shards,
+            backend=args.backend,
+            threshold=(args.threshold if args.threshold is not None
+                       else DEFAULT_KS_THRESHOLD),
+            seed=args.seed,
+        )
+        print(report.formatted())
+        if args.json is not None:
+            try:
+                with open(args.json, "w", encoding="utf-8") as stream:
+                    stream.write(report.to_json() + "\n")
+            except OSError as exc:
+                print(f"error: cannot write report: {exc}", file=sys.stderr)
+                return 2
+            print(f"\nreport written to {args.json}")
+        return 0 if report.passed else 1
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
 
 
 if __name__ == "__main__":  # pragma: no cover

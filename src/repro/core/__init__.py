@@ -25,6 +25,14 @@ from .gds import DistributionSpecifier
 from .generator import RunResult, SimulationHandle, TableSampler, WorkloadGenerator
 from .oplog import OpRecord, OpSink, SessionRecord, UsageLog
 from .plotting import render_histogram, render_pdf, render_series, sparkline
+from .specjson import (
+    dump_spec,
+    dumps_spec,
+    load_spec,
+    loads_spec,
+    spec_from_jsonable,
+    spec_to_jsonable,
+)
 from .spec import (
     FileCategory,
     FileCategorySpec,
@@ -79,6 +87,12 @@ __all__ = [
     "render_pdf",
     "render_series",
     "sparkline",
+    "dump_spec",
+    "dumps_spec",
+    "load_spec",
+    "loads_spec",
+    "spec_from_jsonable",
+    "spec_to_jsonable",
     "FileCategory",
     "FileCategorySpec",
     "FileType",

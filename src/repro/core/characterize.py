@@ -41,7 +41,12 @@ from .spec import (
     WorkloadSpec,
 )
 
-__all__ = ["CategorySamples", "extract_samples", "characterize_log"]
+__all__ = [
+    "CategorySamples",
+    "extract_samples",
+    "characterize_log",
+    "fit_measure",
+]
 
 _DATA_OPS = ("read", "write")
 _REFERENCE_OPS = ("open", "creat", "stat")
@@ -151,6 +156,16 @@ def _fit(samples: list[float], method: str) -> Distribution:
     raise ValueError(
         f"method must be empirical|fit|exponential, got {method!r}"
     )
+
+
+def fit_measure(samples: list[float], method: str = "fit") -> Distribution:
+    """Fit one measure's samples the way :func:`characterize_log` does.
+
+    Public entry point for callers (the trace-calibration pipeline) that
+    need to re-fit a single measure — e.g. replacing the think-time
+    distribution once per-call service times are known.
+    """
+    return _fit(samples, method)
 
 
 def characterize_log(

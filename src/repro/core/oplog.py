@@ -24,6 +24,65 @@ __all__ = ["OpRecord", "SessionRecord", "OpSink", "UsageLog"]
 _OP_FIELDS = 9
 _SESSION_FIELDS = 9
 
+# Text-format escaping: string fields (paths above all) may contain the
+# tab separator, newlines, or the comma used to join category lists, any
+# of which would silently corrupt the line format.  ``\`` escapes keep
+# the format line-oriented and human-readable while making round-trips
+# lossless for arbitrary strings.
+_ESCAPES = {"\\": "\\\\", "\t": "\\t", "\n": "\\n", "\r": "\\r"}
+_UNESCAPES = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r", ",": ","}
+
+
+def _escape(value: str, comma: bool = False) -> str:
+    for raw, escaped in _ESCAPES.items():
+        value = value.replace(raw, escaped)
+    if comma:
+        value = value.replace(",", "\\,")
+    return value
+
+
+def _unescape(value: str) -> str:
+    if "\\" not in value:
+        return value
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\":
+            if i + 1 >= len(value):
+                raise ValueError(f"dangling escape in field {value!r}")
+            key = value[i + 1]
+            if key not in _UNESCAPES:
+                raise ValueError(f"unknown escape \\{key} in field {value!r}")
+            out.append(_UNESCAPES[key])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _split_categories(field_text: str) -> tuple[str, ...]:
+    """Split a comma-joined category list, honouring ``\\,`` escapes."""
+    parts: list[str] = []
+    current: list[str] = []
+    i = 0
+    while i < len(field_text):
+        ch = field_text[i]
+        if ch == "\\" and i + 1 < len(field_text):
+            current.append(ch)
+            current.append(field_text[i + 1])
+            i += 2
+        elif ch == ",":
+            parts.append("".join(current))
+            current = []
+            i += 1
+        else:
+            current.append(ch)
+            i += 1
+    parts.append("".join(current))
+    return tuple(_unescape(p) for p in parts if p)
+
 
 @dataclass(frozen=True)
 class OpRecord:
@@ -45,11 +104,11 @@ class OpRecord:
             (
                 "OP",
                 str(self.user_id),
-                self.user_type,
+                _escape(self.user_type),
                 str(self.session_id),
-                self.op,
-                self.path,
-                self.category_key,
+                _escape(self.op),
+                _escape(self.path),
+                _escape(self.category_key),
                 str(self.size),
                 repr(self.start_us),
                 repr(self.response_us),
@@ -64,11 +123,11 @@ class OpRecord:
             raise ValueError(f"not an OP record: {line!r}")
         return cls(
             user_id=int(parts[1]),
-            user_type=parts[2],
+            user_type=_unescape(parts[2]),
             session_id=int(parts[3]),
-            op=parts[4],
-            path=parts[5],
-            category_key=parts[6],
+            op=_unescape(parts[4]),
+            path=_unescape(parts[5]),
+            category_key=_unescape(parts[6]),
             size=int(parts[7]),
             start_us=float(parts[8]),
             response_us=float(parts[9]),
@@ -114,14 +173,14 @@ class SessionRecord:
             (
                 "SESSION",
                 str(self.user_id),
-                self.user_type,
+                _escape(self.user_type),
                 str(self.session_id),
                 repr(self.start_us),
                 repr(self.end_us),
                 str(self.files_referenced),
                 str(self.bytes_accessed),
                 str(self.file_bytes_referenced),
-                ",".join(self.categories),
+                ",".join(_escape(c, comma=True) for c in self.categories),
             )
         )
 
@@ -133,14 +192,14 @@ class SessionRecord:
             raise ValueError(f"not a SESSION record: {line!r}")
         return cls(
             user_id=int(parts[1]),
-            user_type=parts[2],
+            user_type=_unescape(parts[2]),
             session_id=int(parts[3]),
             start_us=float(parts[4]),
             end_us=float(parts[5]),
             files_referenced=int(parts[6]),
             bytes_accessed=int(parts[7]),
             file_bytes_referenced=int(parts[8]),
-            categories=tuple(c for c in parts[9].split(",") if c),
+            categories=_split_categories(parts[9]),
         )
 
 

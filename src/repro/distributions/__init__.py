@@ -20,9 +20,11 @@ from .fitting import (
     fit_shifted_gamma,
     ks_distance,
     ks_test,
+    ks_two_sample,
 )
 from .gamma import MultiStageGamma, ShiftedGamma
 from .rng import RandomStreams, derive_seed
+from .serialize import from_jsonable, to_jsonable
 
 __all__ = [
     "Distribution",
@@ -46,6 +48,9 @@ __all__ = [
     "fit_shifted_gamma",
     "ks_distance",
     "ks_test",
+    "ks_two_sample",
     "RandomStreams",
     "derive_seed",
+    "from_jsonable",
+    "to_jsonable",
 ]

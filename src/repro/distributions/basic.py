@@ -96,3 +96,9 @@ class Uniform(Distribution):
 
     def __repr__(self) -> str:
         return f"Uniform(lo={self.lo!r}, hi={self.hi!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Uniform) and self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((Uniform, self.lo, self.hi))

@@ -87,6 +87,16 @@ class TabulatedPdf(Distribution):
     def support(self) -> tuple[float, float]:
         return float(self.xs[0]), float(self.xs[-1])
 
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TabulatedPdf)
+            and np.array_equal(self.xs, other.xs)
+            and np.array_equal(self.densities, other.densities)
+        )
+
+    def __hash__(self) -> int:
+        return hash((TabulatedPdf, self.xs.tobytes(), self.densities.tobytes()))
+
 
 class TabulatedCdf(Distribution):
     """A distribution given as ``(x, cdf(x))`` value pairs on a finite grid.
@@ -147,6 +157,16 @@ class TabulatedCdf(Distribution):
     def support(self) -> tuple[float, float]:
         return float(self.xs[0]), float(self.xs[-1])
 
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TabulatedCdf)
+            and np.array_equal(self.xs, other.xs)
+            and np.array_equal(self.cdf_values, other.cdf_values)
+        )
+
+    def __hash__(self) -> int:
+        return hash((TabulatedCdf, self.xs.tobytes(), self.cdf_values.tobytes()))
+
 
 class EmpiricalDistribution(Distribution):
     """The empirical distribution of a set of observed samples.
@@ -200,3 +220,13 @@ class EmpiricalDistribution(Distribution):
 
     def support(self) -> tuple[float, float]:
         return float(self.samples[0]), float(self.samples[-1])
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, EmpiricalDistribution)
+            and self._bins == other._bins
+            and np.array_equal(self.samples, other.samples)
+        )
+
+    def __hash__(self) -> int:
+        return hash((EmpiricalDistribution, self._bins, self.samples.tobytes()))

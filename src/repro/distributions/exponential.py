@@ -179,3 +179,21 @@ class PhaseTypeExponential(Distribution):
             f"scales={self.scales.tolist()!r}, "
             f"offsets={self.offsets.tolist()!r})"
         )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PhaseTypeExponential)
+            and np.array_equal(self.weights, other.weights)
+            and np.array_equal(self.scales, other.scales)
+            and np.array_equal(self.offsets, other.offsets)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                PhaseTypeExponential,
+                self.weights.tobytes(),
+                self.scales.tobytes(),
+                self.offsets.tobytes(),
+            )
+        )

@@ -35,6 +35,7 @@ __all__ = [
     "fit_best",
     "ks_distance",
     "ks_test",
+    "ks_two_sample",
 ]
 
 _EPS = 1e-12
@@ -85,6 +86,22 @@ def ks_test(samples: Sequence[float], dist: Distribution) -> tuple[float, float]
     n = len(data)
     p = float(scipy_stats.kstwobign.sf(d * np.sqrt(n)))
     return d, min(max(p, 0.0), 1.0)
+
+
+def ks_two_sample(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov distance ``sup_x |F_a(x) - F_b(x)|``.
+
+    The supremum over the two step ECDFs is attained at an observation of
+    either sample, so evaluating both ECDFs on the pooled order statistics
+    is exact.  Used by the trace-validation loop to compare a measured
+    sample against its synthetic reproduction.
+    """
+    xs_a = np.sort(as_float_array(a, "a"))
+    xs_b = np.sort(as_float_array(b, "b"))
+    pooled = np.concatenate([xs_a, xs_b])
+    cdf_a = np.searchsorted(xs_a, pooled, side="right") / len(xs_a)
+    cdf_b = np.searchsorted(xs_b, pooled, side="right") / len(xs_b)
+    return float(np.max(np.abs(cdf_a - cdf_b)))
 
 
 def _prepare(samples: Sequence[float]) -> np.ndarray:

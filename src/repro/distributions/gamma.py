@@ -193,3 +193,23 @@ class MultiStageGamma(Distribution):
             f"scales={self.scales.tolist()!r}, "
             f"offsets={self.offsets.tolist()!r})"
         )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MultiStageGamma)
+            and np.array_equal(self.weights, other.weights)
+            and np.array_equal(self.shapes, other.shapes)
+            and np.array_equal(self.scales, other.scales)
+            and np.array_equal(self.offsets, other.offsets)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                MultiStageGamma,
+                self.weights.tobytes(),
+                self.shapes.tobytes(),
+                self.scales.tobytes(),
+                self.offsets.tobytes(),
+            )
+        )

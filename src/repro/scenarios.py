@@ -56,6 +56,8 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "build_scenario_spec",
+    "scenario_from_spec",
+    "register_spec_file",
 ]
 
 
@@ -126,6 +128,49 @@ def build_scenario_spec(name: str, users: int, seed: int,
                         total_files: int | None = None) -> WorkloadSpec:
     """Build ``name``'s spec for a population of ``users``."""
     return get_scenario(name).build(users, seed, total_files=total_files)
+
+
+def scenario_from_spec(name: str, spec: WorkloadSpec, description: str = "",
+                       **kwargs) -> Scenario:
+    """Wrap a concrete spec (e.g. a trace calibration) as a scenario.
+
+    The scenario's builder rescales the captured spec to any requested
+    population and seed — the distributions stay the calibrated ones,
+    only ``n_users``/``seed``/``total_files`` are replaced — so a
+    calibrated trace behaves exactly like a hand-written library entry.
+    """
+    from dataclasses import replace
+
+    def build(users: int, seed: int,
+              total_files: int | None = None) -> WorkloadSpec:
+        return replace(spec, n_users=users, seed=seed,
+                       total_files=total_files or spec.total_files)
+
+    return Scenario(name=name, description=description, build=build, **kwargs)
+
+
+def register_spec_file(path: str, name: str | None = None,
+                       replace: bool = False) -> Scenario:
+    """Load a spec JSON artefact (``trace calibrate`` output) and register it.
+
+    ``name`` defaults to the file's base name without extensions.
+    Returns the registered :class:`Scenario`.
+    """
+    import os
+
+    from .core.specjson import loads_spec
+
+    with open(path, "r", encoding="utf-8") as stream:
+        spec, meta = loads_spec(stream.read())
+    if name is None:
+        name = os.path.basename(path).split(".")[0]
+    source = meta.get("calibrated_from") or os.path.basename(path)
+    scenario = scenario_from_spec(
+        name, spec,
+        description=f"Calibrated from {source}",
+        tags=("calibrated",),
+    )
+    return register_scenario(scenario, replace=replace)
 
 
 # ---------------------------------------------------------------------------

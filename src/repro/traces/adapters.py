@@ -1,0 +1,671 @@
+"""Trace adapters: external formats → canonical :class:`TraceEvent` streams.
+
+Each adapter parses one source format, line by line (constant memory —
+an adapter never buffers the trace), reporting malformed lines through
+an :class:`~repro.traces.events.IssueCollector`.  Formats:
+
+``csv``
+    Generic header-driven CSV.  Recognised columns (synonyms in
+    parentheses): ``timestamp_us`` (``time_us``, ``ts_us``) or
+    ``timestamp`` (``time``, ``ts``; seconds), ``op`` (``operation``,
+    ``syscall``), ``path`` (``file``, ``filename``), and optionally
+    ``user`` (``uid``, ``client``, ``pid``), ``size`` (``bytes``,
+    ``count``), ``duration_us`` (``latency_us``, ``response_us``),
+    ``session`` (``session_id``), ``file_size`` (``fsize``), and
+    ``category`` (``category_key``).
+``jsonl``
+    One JSON object per line, same field names as ``csv``.
+``strace``
+    ``strace -f -ttt -T -y`` style syscall logs: absolute timestamps,
+    call durations in ``<...>``, and fd paths in ``fd</path>`` form.
+    Path-less fd calls (plain ``read(3, ...)``) are reported as issues,
+    since without ``-y`` the file identity is unrecoverable.
+``nfsdump``
+    nfsdump-style NFS packet logs:
+    ``<epoch.frac> <client> <server> <proto> <C|R><vers> <xid> <op> [key value]...``.
+    Calls carry ``fh <hex>`` (used as the path identity) and ``count``;
+    ``size`` attributes on replies are remembered per file handle and
+    attached to subsequent events as file-size hints.
+``usagelog``
+    The repo's native :class:`~repro.core.oplog.UsageLog` text format,
+    so an imported/archived log can feed calibration and validation.
+
+:func:`detect_format` sniffs a sample of lines; :func:`get_adapter`
+resolves by name.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import re
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..core.oplog import OpRecord, SessionRecord, UsageLog
+from .events import CANONICAL_OPS, IssueCollector, TraceEvent
+
+__all__ = [
+    "TraceAdapter",
+    "CsvTraceAdapter",
+    "JsonlTraceAdapter",
+    "StraceAdapter",
+    "NfsDumpAdapter",
+    "UsageLogAdapter",
+    "adapter_names",
+    "get_adapter",
+    "detect_format",
+    "export_csv",
+]
+
+# Synonyms for the generic tabular formats (csv / jsonl).
+_FIELD_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "timestamp_us": ("timestamp_us", "time_us", "ts_us"),
+    "timestamp_s": ("timestamp", "time", "ts", "epoch"),
+    "op": ("op", "operation", "syscall", "call"),
+    "path": ("path", "file", "filename", "name", "fh"),
+    "user": ("user", "uid", "client", "pid", "host", "user_id"),
+    "size": ("size", "bytes", "count", "nbytes", "len"),
+    "duration_us": ("duration_us", "latency_us", "elapsed_us", "response_us"),
+    "session": ("session", "session_id", "login"),
+    "file_size": ("file_size", "filesize", "fsize"),
+    "category": ("category", "category_key"),
+}
+
+# Source-op aliases → the canonical USIM vocabulary.
+_OP_ALIASES: dict[str, str] = {
+    "openat": "open",
+    "open64": "open",
+    "create": "creat",
+    "pread": "read",
+    "pread64": "read",
+    "pwrite": "write",
+    "pwrite64": "write",
+    "readdir": "listdir",
+    "readdirplus": "listdir",
+    "getdents": "listdir",
+    "getdents64": "listdir",
+    "lookup": "open",
+    "getattr": "stat",
+    "setattr": "stat",
+    "access": "stat",
+    "lstat": "stat",
+    "fstat": "stat",
+    "statx": "stat",
+    "newfstatat": "stat",
+    "remove": "unlink",
+    "unlinkat": "unlink",
+    "mkdirat": "mkdir",
+    "llseek": "lseek",
+    "_llseek": "lseek",
+    "lseek64": "lseek",
+}
+
+
+def normalize_op(op: str) -> str | None:
+    """Map a source operation name onto the canonical vocabulary."""
+    name = op.strip().lower()
+    name = _OP_ALIASES.get(name, name)
+    return name if name in CANONICAL_OPS else None
+
+
+class TraceAdapter:
+    """Base class: the line loop, issue reporting, and the adapter registry.
+
+    Subclasses set ``name``/``description``, implement
+    ``parse_line(line) -> TraceEvent | None`` (``None`` means "skip
+    silently", e.g. comments or out-of-scope records; raise
+    ``ValueError`` for malformed lines), and ``sniff(lines) -> bool``.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    @classmethod
+    def sniff(cls, lines: Sequence[str]) -> bool:
+        """True when ``lines`` look like this adapter's format."""
+        raise NotImplementedError
+
+    def parse_line(self, line: str) -> TraceEvent | None:
+        raise NotImplementedError
+
+    def iter_events(
+        self, lines: Iterable[str], issues: IssueCollector | None = None
+    ) -> Iterator[TraceEvent]:
+        """Stream events out of ``lines``; malformed lines become issues."""
+        issues = issues if issues is not None else IssueCollector()
+        for line_no, line in enumerate(lines, 1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                event = self.parse_line(line)
+            except ValueError as exc:
+                issues.add(line_no, str(exc), line)
+                continue
+            if event is not None:
+                yield event
+
+
+class CsvTraceAdapter(TraceAdapter):
+    """Generic CSV schema with a mandatory header row."""
+
+    name = "csv"
+    description = "header-driven CSV (timestamp/op/path + optional columns)"
+
+    def __init__(self) -> None:
+        self._columns: dict[str, int] | None = None
+
+    @staticmethod
+    def _resolve_header(cells: Sequence[str]) -> dict[str, int]:
+        names = [c.strip().lower() for c in cells]
+        columns: dict[str, int] = {}
+        for field, synonyms in _FIELD_SYNONYMS.items():
+            for synonym in synonyms:
+                if synonym in names:
+                    columns[field] = names.index(synonym)
+                    break
+        if "timestamp_us" not in columns and "timestamp_s" not in columns:
+            raise ValueError(f"CSV header lacks a timestamp column: {names}")
+        for required in ("op", "path"):
+            if required not in columns:
+                raise ValueError(f"CSV header lacks a {required!r} column: {names}")
+        return columns
+
+    @classmethod
+    def sniff(cls, lines: Sequence[str]) -> bool:
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                cls._resolve_header(next(csv.reader([line])))
+            except (ValueError, StopIteration):
+                return False
+            return True
+        return False
+
+    def parse_line(self, line: str) -> TraceEvent | None:
+        cells = next(csv.reader([line]))
+        if self._columns is None:
+            self._columns = self._resolve_header(cells)
+            return None
+        return _event_from_mapping(_row_to_mapping(cells, self._columns))
+
+
+class JsonlTraceAdapter(TraceAdapter):
+    """One JSON object per line, same field names as the CSV schema."""
+
+    name = "jsonl"
+    description = "JSON-lines objects (timestamp/op/path + optional keys)"
+
+    @classmethod
+    def sniff(cls, lines: Sequence[str]) -> bool:
+        for line in lines:
+            if not line.strip():
+                continue
+            if not line.lstrip().startswith("{"):
+                return False
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                return False
+            try:
+                _event_from_mapping(_normalize_keys(obj))
+            except ValueError:
+                return False
+            return True
+        return False
+
+    def parse_line(self, line: str) -> TraceEvent | None:
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON: {exc}") from exc
+        if not isinstance(obj, dict):
+            raise ValueError("JSONL record is not an object")
+        return _event_from_mapping(_normalize_keys(obj))
+
+
+def _normalize_keys(obj: dict) -> dict[str, object]:
+    """Resolve synonym keys of a JSON object onto canonical field names."""
+    lowered = {str(k).strip().lower(): v for k, v in obj.items()}
+    out: dict[str, object] = {}
+    for field, synonyms in _FIELD_SYNONYMS.items():
+        for synonym in synonyms:
+            if synonym in lowered:
+                out[field] = lowered[synonym]
+                break
+    return out
+
+
+def _row_to_mapping(cells: Sequence[str], columns: dict[str, int]) -> dict[str, object]:
+    out: dict[str, object] = {}
+    for field, index in columns.items():
+        if index < len(cells):
+            value = cells[index].strip()
+            if value != "":
+                out[field] = value
+    return out
+
+
+def _event_from_mapping(fields: dict[str, object]) -> TraceEvent:
+    """Build a TraceEvent from canonical field names (shared csv/jsonl path)."""
+    if "timestamp_us" in fields:
+        timestamp_us = float(fields["timestamp_us"])  # type: ignore[arg-type]
+    elif "timestamp_s" in fields:
+        timestamp_us = float(fields["timestamp_s"]) * 1e6  # type: ignore[arg-type]
+    else:
+        raise ValueError("record lacks a timestamp")
+    for required in ("op", "path"):
+        if required not in fields:
+            raise ValueError(f"record lacks {required!r}")
+    op = normalize_op(str(fields["op"]))
+    if op is None:
+        raise ValueError(f"unknown operation {fields['op']!r}")
+    path = str(fields["path"])
+    if not path:
+        raise ValueError("record has an empty path")
+    size = int(float(fields.get("size", 0) or 0))
+    duration = float(fields.get("duration_us", 0.0) or 0.0)
+    session = fields.get("session")
+    file_size = fields.get("file_size")
+    category = fields.get("category")
+    return TraceEvent(
+        timestamp_us=timestamp_us,
+        user=str(fields.get("user", "0")),
+        op=op,
+        path=path,
+        size=max(size, 0),
+        duration_us=max(duration, 0.0),
+        session=None if session is None else str(session),
+        file_size=None if file_size in (None, "") else int(float(file_size)),  # type: ignore[arg-type]
+        category=None if category in (None, "") else str(category),
+    )
+
+
+# strace: "[pid] [epoch.frac] name(args) = ret [<dur>]"
+_STRACE_HEAD = re.compile(
+    r"^(?:\[pid\s+(?P<bpid>\d+)\]\s+|(?P<pid>\d+)\s+)?"
+    r"(?:(?P<ts>\d{6,}\.\d+)\s+)?"
+    r"(?P<call>[a-z_][a-z0-9_]*)\("
+)
+_STRACE_TAIL = re.compile(
+    r"\)\s*=\s*(?P<ret>-?\d+|\?)(?:\s+[A-Z][A-Z0-9_]*(?:\s+\([^)]*\))?)?"
+    r"(?:\s+<(?P<dur>\d+\.\d+)>)?\s*$"
+)
+_STRACE_QUOTED = re.compile(r'"((?:[^"\\]|\\.)*)"')
+_STRACE_FD_PATH = re.compile(r"\d+<([^<>]*)>")
+
+# Syscalls whose first quoted argument is the path.
+_STRACE_PATH_CALLS = frozenset(
+    {
+        "open",
+        "openat",
+        "open64",
+        "creat",
+        "stat",
+        "lstat",
+        "statx",
+        "newfstatat",
+        "access",
+        "unlink",
+        "unlinkat",
+        "mkdir",
+        "mkdirat",
+        "rmdir",
+    }
+)
+# fd-based syscalls resolved through strace -y's fd</path> annotations.
+_STRACE_FD_CALLS = frozenset(
+    {
+        "read",
+        "pread",
+        "pread64",
+        "write",
+        "pwrite",
+        "pwrite64",
+        "close",
+        "fstat",
+        "lseek",
+        "llseek",
+        "_llseek",
+        "lseek64",
+        "getdents",
+        "getdents64",
+    }
+)
+
+
+class StraceAdapter(TraceAdapter):
+    """``strace -f -ttt -T -y`` style syscall logs."""
+
+    name = "strace"
+    description = "strace syscall log (-ttt timestamps, -T durations, -y fd paths)"
+
+    def __init__(self) -> None:
+        self._synthetic_clock_us = 0.0
+
+    @classmethod
+    def sniff(cls, lines: Sequence[str]) -> bool:
+        for line in lines:
+            if not line.strip():
+                continue
+            head = _STRACE_HEAD.match(line.strip())
+            return bool(head and _STRACE_TAIL.search(line))
+        return False
+
+    def parse_line(self, line: str) -> TraceEvent | None:
+        text = line.strip()
+        # Signal deliveries, exits, and split syscalls are strace noise,
+        # not file operations; skip them without reporting issues.
+        if text.startswith(("---", "+++")) or "<unfinished" in text or "resumed>" in text:
+            return None
+        head = _STRACE_HEAD.match(text)
+        if head is None:
+            raise ValueError("not an strace syscall line")
+        tail = _STRACE_TAIL.search(text)
+        if tail is None:
+            raise ValueError("strace line lacks a '= ret' tail")
+        call = head.group("call")
+        if call not in _STRACE_PATH_CALLS and call not in _STRACE_FD_CALLS:
+            return None  # not a file-system call we model
+        ret = tail.group("ret")
+        if ret == "?" or int(ret) < 0:
+            return None  # interrupted or failed call
+        args = text[head.end() : tail.start()]
+
+        if call in _STRACE_PATH_CALLS:
+            quoted = _STRACE_QUOTED.search(args)
+            if quoted is None:
+                raise ValueError(f"{call}() line has no quoted path")
+            path = quoted.group(1)
+        else:
+            fd_path = _STRACE_FD_PATH.search(args)
+            if fd_path is None:
+                raise ValueError(
+                    f"{call}() line has no fd</path> annotation (need strace -y)"
+                )
+            path = fd_path.group(1)
+
+        op = normalize_op(call)
+        if op == "open" and "O_CREAT" in args:
+            op = "creat"
+        if op is None:
+            return None
+
+        if head.group("ts") is not None:
+            timestamp_us = float(head.group("ts")) * 1e6
+        else:
+            # No -ttt timestamps: keep events ordered on a synthetic clock.
+            self._synthetic_clock_us += 1.0
+            timestamp_us = self._synthetic_clock_us
+        size = int(ret) if op in ("read", "write", "listdir") else 0
+        duration = float(tail.group("dur") or 0.0) * 1e6
+        pid = head.group("pid") or head.group("bpid") or "0"
+        return TraceEvent(
+            timestamp_us=timestamp_us,
+            user=pid,
+            op=op,
+            path=path,
+            size=size,
+            duration_us=duration,
+        )
+
+
+_NFS_DIRECTION = re.compile(r"^(?P<dir>[CR])(?P<vers>\d*)$")
+_NFS_OPS = frozenset(
+    {
+        "read",
+        "write",
+        "create",
+        "remove",
+        "mkdir",
+        "rmdir",
+        "readdir",
+        "readdirplus",
+        "getattr",
+        "setattr",
+        "lookup",
+        "access",
+    }
+)
+
+
+class NfsDumpAdapter(TraceAdapter):
+    """nfsdump-style packet logs (see module docstring for the shape)."""
+
+    name = "nfsdump"
+    description = "nfsdump-style NFS packet log (calls + attribute replies)"
+
+    _MAX_PENDING = 4096
+
+    def __init__(self) -> None:
+        self._fh_sizes: dict[str, int] = {}
+        self._pending_fh: dict[str, str] = {}  # xid -> fh of the call
+
+    @classmethod
+    def sniff(cls, lines: Sequence[str]) -> bool:
+        for line in lines:
+            tokens = line.split()
+            if not tokens:
+                continue
+            try:
+                float(tokens[0])
+            except ValueError:
+                return False
+            return len(tokens) >= 7 and any(
+                _NFS_DIRECTION.match(t) for t in tokens[1:6]
+            )
+        return False
+
+    @staticmethod
+    def _keyvalues(tokens: Sequence[str]) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for i in range(0, len(tokens) - 1):
+            key = tokens[i]
+            if key in ("fh", "count", "off", "size", "fn") and key not in out:
+                out[key] = tokens[i + 1]
+        return out
+
+    def parse_line(self, line: str) -> TraceEvent | None:
+        tokens = line.split()
+        if len(tokens) < 7:
+            raise ValueError("too few fields for an nfsdump record")
+        try:
+            timestamp_us = float(tokens[0]) * 1e6
+        except ValueError as exc:
+            raise ValueError(f"bad timestamp {tokens[0]!r}") from exc
+
+        direction = xid = None
+        direction_at = None
+        for i, token in enumerate(tokens[1:6], 1):
+            match = _NFS_DIRECTION.match(token)
+            if match:
+                direction = match.group("dir")
+                direction_at = i
+                break
+        if direction is None or direction_at is None:
+            raise ValueError("no C/R direction marker")
+        rest = tokens[direction_at + 1 :]
+        if not rest:
+            raise ValueError("record ends after the direction marker")
+        xid = rest[0]
+        op_token = None
+        for token in rest[1:4]:
+            if token.lower() in _NFS_OPS:
+                op_token = token.lower()
+                break
+        if op_token is None:
+            raise ValueError("no recognised NFS operation")
+        kv = self._keyvalues(rest)
+
+        if direction == "R":
+            # Attribute replies tell us the file's size; remember it per
+            # file handle so later events carry a file-size hint.
+            fh = self._pending_fh.pop(xid, kv.get("fh"))
+            if fh is not None and "size" in kv:
+                try:
+                    self._fh_sizes[fh] = int(kv["size"])
+                except ValueError:
+                    pass
+            return None
+
+        fh = kv.get("fh")
+        if fh is None:
+            raise ValueError(f"{op_token} call without an fh field")
+        if len(self._pending_fh) >= self._MAX_PENDING:
+            self._pending_fh.clear()
+        self._pending_fh[xid] = fh
+        op = normalize_op(op_token)
+        if op is None:
+            return None
+        try:
+            size = int(kv.get("count", "0"))
+        except ValueError as exc:
+            raise ValueError(f"bad count {kv.get('count')!r}") from exc
+        client = tokens[1]
+        host = client.rsplit(".", 1)[0] if "." in client else client
+        path = f"nfs:{fh}"
+        if kv.get("fn"):
+            path = f"nfs:{fh}/{kv['fn']}"
+        return TraceEvent(
+            timestamp_us=timestamp_us,
+            user=host,
+            op=op,
+            path=path,
+            size=size,
+            file_size=self._fh_sizes.get(fh),
+        )
+
+
+class UsageLogAdapter(TraceAdapter):
+    """The repo's native usage-log text format as a trace source."""
+
+    name = "usagelog"
+    description = "native UsageLog text format (OP/SESSION lines)"
+
+    @classmethod
+    def sniff(cls, lines: Sequence[str]) -> bool:
+        for line in lines:
+            if not line.strip():
+                continue
+            return line.startswith(("OP\t", "SESSION\t"))
+        return False
+
+    def parse_line(self, line: str) -> TraceEvent | None:
+        text = line.rstrip("\n")
+        if text.startswith("SESSION\t"):
+            SessionRecord.from_line(text)  # validate, but ops carry the ids
+            return None
+        if not text.startswith("OP\t"):
+            raise ValueError("not an OP/SESSION line")
+        record = OpRecord.from_line(text)
+        return TraceEvent(
+            timestamp_us=record.start_us,
+            user=str(record.user_id),
+            op=record.op,
+            path=record.path,
+            size=record.size,
+            duration_us=record.response_us,
+            session=str(record.session_id),
+            category=record.category_key or None,
+        )
+
+
+_ADAPTERS: dict[str, Callable[[], TraceAdapter]] = {
+    CsvTraceAdapter.name: CsvTraceAdapter,
+    JsonlTraceAdapter.name: JsonlTraceAdapter,
+    StraceAdapter.name: StraceAdapter,
+    NfsDumpAdapter.name: NfsDumpAdapter,
+    UsageLogAdapter.name: UsageLogAdapter,
+}
+
+# Sniffing order: most specific first (csv accepts the broadest inputs).
+_SNIFF_ORDER = ("usagelog", "strace", "nfsdump", "jsonl", "csv")
+
+
+def adapter_names() -> tuple[str, ...]:
+    """Registered adapter names, sorted."""
+    return tuple(sorted(_ADAPTERS))
+
+
+def get_adapter(name: str) -> TraceAdapter:
+    """A fresh adapter instance for ``name`` (adapters keep parse state)."""
+    try:
+        factory = _ADAPTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace format {name!r}; known: {', '.join(adapter_names())}"
+        ) from None
+    return factory()
+
+
+def detect_format(sample_lines: Sequence[str]) -> str:
+    """Sniff which adapter understands ``sample_lines``.
+
+    Raises ``ValueError`` when no adapter recognises the sample.
+    """
+    candidates = [line for line in sample_lines if line.strip()]
+    if not candidates:
+        raise ValueError("cannot sniff an empty trace")
+    for name in _SNIFF_ORDER:
+        if _ADAPTERS[name].sniff(candidates):
+            return name
+    raise ValueError(
+        "could not detect the trace format; pass one of "
+        f"{', '.join(adapter_names())} explicitly"
+    )
+
+
+_EXPORT_COLUMNS = (
+    "timestamp_us",
+    "user",
+    "session",
+    "op",
+    "path",
+    "size",
+    "duration_us",
+    "file_size",
+    "category",
+)
+
+
+def _export_safe(path: str) -> str:
+    """Escape line breaks so every exported record stays one physical line.
+
+    The CSV adapter parses line by line (constant memory), so a quoted
+    field spanning physical lines would be truncated on re-import.
+    Escaped paths stay self-consistent identities within the trace,
+    which is all the characterisation needs.
+    """
+    return path.replace("\\", "\\\\").replace("\n", "\\n").replace("\r", "\\r")
+
+
+def export_csv(log: UsageLog, stream, layout=None) -> int:
+    """Write ``log`` as a generic CSV trace; returns the row count.
+
+    ``layout`` (anything with ``size_of(path)``) supplies file-size
+    hints, mirroring what attribute-carrying formats like NFS dumps
+    expose.  The output re-imports through :class:`CsvTraceAdapter` with
+    one record per operation; line breaks in paths are escaped (see
+    :func:`_export_safe`).
+    """
+    writer = csv.writer(stream, lineterminator="\n")
+    writer.writerow(_EXPORT_COLUMNS)
+    rows = 0
+    for op in log.operations:
+        known_size = layout.size_of(op.path) if layout is not None else None
+        writer.writerow(
+            (
+                repr(op.start_us),
+                op.user_id,
+                op.session_id,
+                op.op,
+                _export_safe(op.path),
+                op.size,
+                repr(op.response_us),
+                "" if known_size is None else known_size,
+                op.category_key,
+            )
+        )
+        rows += 1
+    return rows

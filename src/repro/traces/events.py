@@ -1,0 +1,163 @@
+"""Canonical trace events and ingestion error reporting.
+
+Every adapter (:mod:`repro.traces.adapters`) parses its source format
+into a stream of :class:`TraceEvent` — the subsystem's narrow waist.
+Downstream, the sessionizer turns events into the repo's canonical
+:class:`~repro.core.oplog.OpRecord`/:class:`~repro.core.oplog.SessionRecord`
+stream, after which the whole existing characterisation machinery
+applies unchanged.
+
+Error handling is explicit: adapters never silently drop a malformed
+line.  Each problem becomes a :class:`ParseIssue` (with its line number
+and a clipped copy of the offending text) collected by an
+:class:`IssueCollector`; in strict mode the first issue raises
+:class:`TraceParseError` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CANONICAL_OPS",
+    "TraceEvent",
+    "TraceError",
+    "TraceParseError",
+    "ParseIssue",
+    "IssueCollector",
+]
+
+# The op vocabulary the sessionizer understands — the same system-call
+# names the USIM emits (see repro.core.usim).
+CANONICAL_OPS = frozenset(
+    {
+        "open",
+        "creat",
+        "read",
+        "write",
+        "close",
+        "stat",
+        "lseek",
+        "unlink",
+        "listdir",
+        "mkdir",
+        "rmdir",
+    }
+)
+
+
+class TraceError(ValueError):
+    """Base error for the trace subsystem."""
+
+
+@dataclass(frozen=True)
+class ParseIssue:
+    """One malformed / unusable trace record.
+
+    ``unit`` names what ``line_no`` counts: adapters report physical
+    ``"line"`` numbers; post-parse stages (the sessionizer) count parsed
+    ``"event"`` ordinals, which drift from line numbers whenever the
+    adapter skipped lines.
+    """
+
+    line_no: int
+    reason: str
+    line: str = ""
+    unit: str = "line"
+
+    def __str__(self) -> str:
+        clipped = self.line if len(self.line) <= 120 else self.line[:117] + "..."
+        suffix = f": {clipped!r}" if clipped else ""
+        return f"{self.unit} {self.line_no}: {self.reason}{suffix}"
+
+
+class TraceParseError(TraceError):
+    """Raised in strict mode for the first malformed line."""
+
+    def __init__(self, issue: ParseIssue, source: str = ""):
+        prefix = f"{source}: " if source else ""
+        super().__init__(f"{prefix}{issue}")
+        self.issue = issue
+
+
+class IssueCollector:
+    """Accumulates parse issues, keeping a bounded sample of them.
+
+    ``strict=True`` turns the first issue into a :class:`TraceParseError`.
+    ``total`` always counts every issue; only the first ``keep`` are
+    retained verbatim for reporting.
+    """
+
+    def __init__(self, strict: bool = False, keep: int = 20, source: str = ""):
+        self.strict = strict
+        self.keep = keep
+        self.source = source
+        self.total = 0
+        self.issues: list[ParseIssue] = []
+
+    def add(self, line_no: int, reason: str, line: str = "", unit: str = "line") -> None:
+        """Record one issue (raises immediately in strict mode)."""
+        issue = ParseIssue(
+            line_no=line_no, reason=reason, line=line.rstrip("\n"), unit=unit
+        )
+        if self.strict:
+            raise TraceParseError(issue, source=self.source)
+        self.total += 1
+        if len(self.issues) < self.keep:
+            self.issues.append(issue)
+
+    def summary(self) -> str:
+        """Human-readable digest of what went wrong."""
+        if self.total == 0:
+            return "no parse issues"
+        lines = [f"{self.total} line(s) could not be parsed; first {len(self.issues)}:"]
+        lines.extend(f"  {issue}" for issue in self.issues)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One file-system operation observed in an external trace.
+
+    ``user`` is an opaque source identifier (uid, pid, NFS client host,
+    CSV column value, ...); the sessionizer maps distinct values to dense
+    integer user ids.  Optional fields carry information only some
+    formats provide: ``session`` (explicit session/login records),
+    ``file_size`` (NFS attribute replies, CSV columns), ``category`` (a
+    pre-classified ``REG:USER:RDONLY``-style key), and ``duration_us``
+    (per-call latency, used to separate think time from service time).
+    """
+
+    timestamp_us: float
+    user: str
+    op: str
+    path: str
+    size: int = 0
+    duration_us: float = 0.0
+    session: str | None = None
+    file_size: int | None = None
+    category: str | None = None
+
+
+@dataclass
+class IngestStats:
+    """What one ingestion pass saw."""
+
+    adapter: str = ""
+    events: int = 0
+    users: int = 0
+    sessions: int = 0
+    distinct_paths: int = 0
+    issues_total: int = 0
+    issue_sample: list[ParseIssue] = field(default_factory=list)
+
+    def as_kv(self) -> dict[str, object]:
+        """Key/value form for CLI summaries."""
+        return {
+            "adapter": self.adapter,
+            "events": self.events,
+            "users": self.users,
+            "sessions": self.sessions,
+            "distinct paths": self.distinct_paths,
+            "lines with issues": self.issues_total,
+        }

@@ -118,3 +118,70 @@ class TestUsageLog:
         a.extend(b)
         assert len(a.operations) == 8
         assert len(a.sessions) == 2
+
+
+class TestRobustRoundTrip:
+    """Paths with separators/whitespace and empty logs must survive."""
+
+    @pytest.mark.parametrize("path", [
+        "/user00/with\ttab",
+        "/user00/with\nnewline",
+        "/user00/with\rcarriage",
+        "/user00/back\\slash",
+        "/user00/tab\tand\\mix\n",
+        "/user00/trailing space ",
+    ])
+    def test_op_path_round_trip(self, path):
+        record = OpRecord(
+            user_id=1, user_type="heavy", session_id=0, op="read",
+            path=path, category_key="REG:USER:RDONLY", size=10,
+            start_us=0.0, response_us=1.0,
+        )
+        line = record.to_line()
+        assert "\n" not in line and "\r" not in line
+        assert OpRecord.from_line(line) == record
+
+    def test_category_and_user_type_round_trip(self):
+        record = OpRecord(
+            user_id=1, user_type="type\twith tab", session_id=0, op="read",
+            path="/f", category_key="weird\tkey", size=10,
+            start_us=0.0, response_us=1.0,
+        )
+        assert OpRecord.from_line(record.to_line()) == record
+
+    def test_session_categories_with_commas_round_trip(self):
+        record = SessionRecord(
+            user_id=0, user_type="h\tt", session_id=1, start_us=0.0,
+            end_us=5.0, files_referenced=1, bytes_accessed=2,
+            file_bytes_referenced=3,
+            categories=("plain", "with,comma", "with\ttab"),
+        )
+        assert SessionRecord.from_line(record.to_line()) == record
+
+    def test_full_log_round_trip_with_hostile_paths(self):
+        log = UsageLog()
+        log.record_session(session())
+        for path in ("/a\tb", "/c\nd", "/e\\f", "/g,h"):
+            log.record_op(OpRecord(
+                user_id=0, user_type="heavy", session_id=0, op="write",
+                path=path, category_key="REG:USER:NEW", size=1,
+                start_us=0.0, response_us=0.5,
+            ))
+        restored = UsageLog.loads(log.dumps())
+        assert restored.operations == log.operations
+        assert restored.sessions == log.sessions
+
+    def test_empty_log_round_trip(self):
+        restored = UsageLog.loads(UsageLog().dumps())
+        assert restored.operations == []
+        assert restored.sessions == []
+
+    def test_unknown_escape_rejected(self):
+        line = op().to_line().replace("/user00/f", "/user00\\qf")
+        with pytest.raises(ValueError, match="unknown escape"):
+            OpRecord.from_line(line)
+
+    def test_dangling_escape_rejected(self):
+        line = op().to_line().replace("/user00/f", "/user00/f\\")
+        with pytest.raises(ValueError, match="dangling escape"):
+            OpRecord.from_line(line)

@@ -100,3 +100,113 @@ class TestCommands:
         log = UsageLog.load(target.read_text().splitlines())
         assert len(log.sessions) == 2
         assert len(log.operations) > 0
+
+
+class TestTraceCommands:
+    @pytest.fixture(scope="class")
+    def trace_path(self):
+        import pathlib
+
+        path = (pathlib.Path(__file__).resolve().parents[1]
+                / "examples" / "example_trace.csv")
+        assert path.exists()
+        return str(path)
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_formats(self, capsys):
+        assert main(["trace", "formats"]) == 0
+        out = capsys.readouterr().out
+        assert "strace" in out and "nfsdump" in out and "csv" in out
+
+    def test_trace_import(self, tmp_path, capsys, trace_path):
+        target = tmp_path / "imported.ulog"
+        code = main(["trace", "import", trace_path, "-o", str(target)])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "Trace import" in err
+        from repro.core import UsageLog
+
+        log = UsageLog.load(target.read_text().splitlines())
+        assert len(log.sessions) == 8
+        assert len(log.operations) > 1000
+
+    def test_trace_import_missing_file(self, capsys):
+        assert main(["trace", "import", "/no/such/trace.csv"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_characterize(self, tmp_path, capsys, trace_path):
+        target = tmp_path / "imported.ulog"
+        main(["trace", "import", trace_path, "-o", str(target)])
+        capsys.readouterr()
+        code = main(["characterize", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Characterization" in out
+        assert "REG:USER:RD-WRT" in out
+
+    def test_characterize_json(self, tmp_path, capsys, trace_path):
+        target = tmp_path / "imported.ulog"
+        main(["trace", "import", trace_path, "-o", str(target)])
+        capsys.readouterr()
+        code = main(["characterize", str(target), "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        import json
+
+        rows = json.loads(out)
+        assert any(r["category"] == "REG:USER:TEMP" for r in rows)
+
+    def test_characterize_missing_file(self, capsys):
+        assert main(["characterize", "/no/such.ulog"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_calibrate_then_validate_closed_loop(self, tmp_path, capsys,
+                                                 trace_path):
+        spec_path = tmp_path / "cal.spec.json"
+        code = main(["trace", "calibrate", trace_path,
+                     "-o", str(spec_path), "--seed", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Calibrated spec" in out
+        assert spec_path.exists()
+
+        report_path = tmp_path / "report.json"
+        code = main(["trace", "validate", str(spec_path),
+                     "--against", trace_path, "--json", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["passed"] is True
+        assert set(report["measures"]) == {
+            "access_size", "file_size", "files_referenced",
+            "access_per_byte", "think_time",
+        }
+
+    def test_validate_fails_loudly_on_bad_spec(self, tmp_path, capsys,
+                                               trace_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["trace", "validate", str(bad),
+                     "--against", trace_path]) == 2
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_validate_mismatch_exits_nonzero(self, tmp_path, capsys,
+                                             trace_path):
+        from repro.core import dump_spec
+        from repro.scenarios import build_scenario_spec
+
+        spec_path = tmp_path / "wrong.spec.json"
+        with open(spec_path, "w") as stream:
+            dump_spec(build_scenario_spec("batch-heavy", 4, 5,
+                                          total_files=70), stream)
+        code = main(["trace", "validate", str(spec_path),
+                     "--against", trace_path])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out

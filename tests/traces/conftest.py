@@ -1,0 +1,16 @@
+"""Shared paths for the trace tests."""
+
+import pathlib
+
+import pytest
+
+EXAMPLE_TRACE = (
+    pathlib.Path(__file__).resolve().parents[2] / "examples" / "example_trace.csv"
+)
+
+
+@pytest.fixture(scope="session")
+def example_trace() -> str:
+    """Absolute path of the bundled example trace."""
+    assert EXAMPLE_TRACE.exists(), "examples/example_trace.csv is missing"
+    return str(EXAMPLE_TRACE)

@@ -1,0 +1,124 @@
+"""Sessionization tests: idle-gap splitting, explicit sessions, inference."""
+
+import pytest
+
+from repro.core import UsageLog
+from repro.traces import CategoryInferencer, TraceEvent, sessionize_events
+
+
+def _event(ts, user="u", op="read", path="/data/f", **kwargs):
+    return TraceEvent(timestamp_us=ts, user=user, op=op, path=path, **kwargs)
+
+
+class TestIdleGapSplitting:
+    def test_gap_splits_sessions(self):
+        log = UsageLog()
+        events = [
+            _event(0.0),
+            _event(1000.0),
+            _event(1000.0 + 5_000_000.0),  # 5 s of idle
+            _event(1000.0 + 5_001_000.0),
+        ]
+        result = sessionize_events(events, log, gap_us=1_000_000.0)
+        assert result.stats.sessions == 2
+        assert len(log.sessions) == 2
+        assert [op.session_id for op in log.operations] == [0, 0, 1, 1]
+
+    def test_gap_is_per_user(self):
+        log = UsageLog()
+        events = [
+            _event(0.0, user="a"),
+            _event(10.0, user="b"),
+            _event(2_000_000.0, user="a"),  # a idled; b only appears once
+        ]
+        sessionize_events(events, log, gap_us=1_000_000.0)
+        assert len(log.sessions) == 3
+        by_user = {(s.user_id, s.session_id) for s in log.sessions}
+        assert by_user == {(0, 0), (0, 1), (1, 0)}
+
+    def test_explicit_session_column_wins_over_gap(self):
+        log = UsageLog()
+        events = [
+            _event(0.0, session="s1"),
+            _event(10.0, session="s1"),
+            _event(20.0, session="s2"),  # tiny gap, still a new session
+        ]
+        sessionize_events(events, log, gap_us=1_000_000.0)
+        assert len(log.sessions) == 2
+
+    def test_bad_gap_rejected(self):
+        with pytest.raises(ValueError, match="gap_us"):
+            sessionize_events([], UsageLog(), gap_us=0.0)
+
+    def test_out_of_order_timestamps_clamped(self):
+        log = UsageLog()
+        sessionize_events([_event(100.0), _event(50.0)], log, gap_us=1e6)
+        starts = [op.start_us for op in log.operations]
+        assert starts == [100.0, 100.0]
+
+
+class TestAccounting:
+    def test_session_summary_fields(self):
+        log = UsageLog()
+        events = [
+            _event(0.0, op="open", path="/data/f", file_size=1000),
+            _event(10.0, op="read", path="/data/f", size=600),
+            _event(20.0, op="read", path="/data/f", size=600),
+            _event(30.0, op="creat", path="/data/g"),
+            _event(40.0, op="write", path="/data/g", size=250, duration_us=5.0),
+        ]
+        result = sessionize_events(events, log, gap_us=1e6)
+        (session,) = log.sessions
+        assert session.files_referenced == 2
+        assert session.bytes_accessed == 600 + 600 + 250
+        # /data/f has an observed size, /data/g accumulates its writes.
+        assert session.file_bytes_referenced == 1000 + 250
+        assert session.end_us == pytest.approx(45.0)
+        assert result.size_index.size_of("/data/f") == 1000
+        assert result.size_index.size_of("/data/g") is None
+
+    def test_user_ids_dense_and_first_seen(self):
+        log = UsageLog()
+        events = [_event(0.0, user="zed"), _event(1.0, user="amy"), _event(2.0, user="zed")]
+        result = sessionize_events(events, log, gap_us=1e6)
+        assert result.user_ids == {"zed": 0, "amy": 1}
+        assert result.stats.users == 2
+
+
+class TestCategoryHandling:
+    def test_explicit_category_respected(self):
+        log = UsageLog()
+        sessionize_events(
+            [_event(0.0, category="REG:NOTES:RDONLY")], log, gap_us=1e6
+        )
+        assert log.operations[0].category_key == "REG:NOTES:RDONLY"
+
+    def test_invalid_category_falls_back_to_inference(self):
+        log = UsageLog()
+        from repro.traces import IssueCollector
+
+        issues = IssueCollector()
+        sessionize_events(
+            [_event(0.0, path="/home/x/f", category="NOT:A:KEY:AT:ALL")],
+            log,
+            gap_us=1e6,
+            issues=issues,
+        )
+        assert log.operations[0].category_key == "REG:USER:RDONLY"
+        assert issues.total == 1
+        # Sessionizer issues count events, not physical lines.
+        assert str(issues.issues[0]).startswith("event 1:")
+
+    def test_inferencer_rules(self):
+        inf = CategoryInferencer()
+        assert inf.key_for(_event(0, op="read", path="/home/a/f")) == "REG:USER:RDONLY"
+        assert inf.key_for(_event(0, op="read", path="/usr/lib/libc.so")) == "REG:OTHER:RDONLY"
+        assert inf.key_for(_event(0, op="read", path="/var/notes/general")) == "REG:NOTES:RDONLY"
+        assert inf.key_for(_event(0, op="write", path="/tmp/cc123.o")) == "REG:OTHER:TEMP"
+        assert inf.key_for(_event(0, op="listdir", path="/home/a")) == "DIR:USER:RDONLY"
+        # A created file is NEW from the creat onwards.
+        assert inf.key_for(_event(0, op="creat", path="/home/a/new")) == "REG:USER:NEW"
+        assert inf.key_for(_event(0, op="write", path="/home/a/new")) == "REG:USER:NEW"
+        # A written (but not created) file is RD-WRT from the write onwards.
+        assert inf.key_for(_event(0, op="write", path="/home/a/log")) == "REG:USER:RD-WRT"
+        assert inf.key_for(_event(0, op="read", path="/home/a/log")) == "REG:USER:RD-WRT"

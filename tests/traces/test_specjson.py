@@ -1,0 +1,177 @@
+"""WorkloadSpec JSON round-trip tests, including empirical payloads."""
+
+import pytest
+
+from repro.core import (
+    SpecError,
+    dumps_spec,
+    loads_spec,
+    paper_workload_spec,
+    spec_from_jsonable,
+    spec_to_jsonable,
+)
+from repro.core.spec import (
+    FileCategory,
+    FileCategorySpec,
+    UsageSpec,
+    UserTypeSpec,
+    WorkloadSpec,
+)
+from repro.distributions import (
+    Constant,
+    EmpiricalDistribution,
+    MultiStageGamma,
+    PhaseTypeExponential,
+    ShiftedExponential,
+    ShiftedGamma,
+    TabulatedCdf,
+    TabulatedPdf,
+    Uniform,
+    from_jsonable,
+    to_jsonable,
+)
+
+
+class TestDistributionCodec:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Constant(7.0),
+            Uniform(1.0, 9.0),
+            ShiftedExponential(1024.0, 3.0),
+            PhaseTypeExponential([0.4, 0.6], [10.0, 20.0], [0.0, 5.0]),
+            ShiftedGamma(1.5, 8.0, 2.0),
+            MultiStageGamma([0.7, 0.3], [1.2, 2.0], [3.0, 4.0], [0.0, 1.0]),
+            EmpiricalDistribution([5.0, 1.0, 3.0, 3.0, 8.0], bins=4),
+            TabulatedPdf([0.0, 1.0, 2.0], [0.0, 1.0, 0.0]),
+            TabulatedCdf([0.0, 1.0, 2.0], [0.0, 0.4, 1.0]),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_round_trip_equality(self, dist):
+        assert from_jsonable(to_jsonable(dist)) == dist
+
+    def test_unknown_kind_rejected(self):
+        from repro.distributions import DistributionError
+
+        with pytest.raises(DistributionError, match="unknown distribution kind"):
+            from_jsonable({"kind": "zipf", "s": 1.1})
+
+    def test_bad_payload_rejected(self):
+        from repro.distributions import DistributionError
+
+        with pytest.raises(DistributionError, match="bad"):
+            from_jsonable({"kind": "uniform", "lo": 1.0})
+
+
+def _empirical_spec() -> WorkloadSpec:
+    category = FileCategory.from_key("REG:USER:RD-WRT")
+    return WorkloadSpec(
+        file_categories=(
+            FileCategorySpec(
+                category=category,
+                size_distribution=EmpiricalDistribution([100.0, 900.0, 400.0]),
+                fraction_of_files=1.0,
+            ),
+        ),
+        user_types=(
+            UserTypeSpec(
+                name="measured",
+                fraction=1.0,
+                usage=(
+                    UsageSpec(
+                        category=category,
+                        access_per_byte=EmpiricalDistribution([1.0, 2.0, 2.5]),
+                        file_count=Constant(3.0),
+                        file_size=EmpiricalDistribution([128.0, 4096.0]),
+                        fraction_of_users=0.75,
+                    ),
+                ),
+                think_time=PhaseTypeExponential([0.5, 0.5], [100.0, 9000.0]),
+                access_size=EmpiricalDistribution([512.0, 1024.0, 1024.0]),
+            ),
+        ),
+        total_files=64,
+        n_users=5,
+        seed=42,
+    )
+
+
+class TestSpecRoundTrip:
+    def test_paper_spec_round_trip(self):
+        spec = paper_workload_spec(n_users=4, total_files=200, seed=3)
+        restored, meta = loads_spec(dumps_spec(spec, meta={"k": "v"}))
+        assert restored == spec
+        assert meta == {"k": "v"}
+
+    def test_empirical_spec_round_trip(self):
+        spec = _empirical_spec()
+        restored, _ = loads_spec(dumps_spec(spec))
+        assert restored == spec
+        # Serialisation is stable: encode(decode(encode(x))) == encode(x).
+        assert spec_to_jsonable(restored) == spec_to_jsonable(spec)
+
+    def test_calibrated_spec_round_trip(self, example_trace):
+        from repro.traces import calibrate_trace_file
+
+        result = calibrate_trace_file(example_trace, method="empirical", seed=5)
+        restored, _ = loads_spec(dumps_spec(result.spec))
+        assert restored == result.spec
+
+    def test_not_json_rejected(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            loads_spec("{nope")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SpecError, match="unknown format"):
+            spec_from_jsonable({"format": "other", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SpecError, match="unsupported version"):
+            spec_from_jsonable({"format": "repro.workload-spec", "version": 99})
+
+    def test_missing_fields_reported(self):
+        payload = spec_to_jsonable(_empirical_spec())
+        del payload["user_types"][0]["think_time"]
+        with pytest.raises(SpecError, match="missing 'think_time'"):
+            spec_from_jsonable(payload)
+
+    def test_semantic_validation_still_applies(self):
+        payload = spec_to_jsonable(_empirical_spec())
+        payload["user_types"][0]["fraction"] = 0.5  # no longer sums to 1
+        with pytest.raises(SpecError, match="sum to 1"):
+            spec_from_jsonable(payload)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.__setitem__("file_categories", 0),
+            lambda p: p.__setitem__("user_types", [7]),
+            lambda p: p["file_categories"][0].__setitem__("fraction_of_files", "abc"),
+            lambda p: p["user_types"][0].__setitem__("usage", {"not": "a list"}),
+        ],
+        ids=["categories-not-list", "user-type-not-dict", "non-numeric", "usage-not-list"],
+    )
+    def test_structural_garbage_becomes_spec_error(self, mutate):
+        payload = spec_to_jsonable(_empirical_spec())
+        mutate(payload)
+        with pytest.raises(SpecError):
+            spec_from_jsonable(payload)
+
+
+class TestScenarioRegistration:
+    def test_register_spec_file(self, tmp_path):
+        from repro.scenarios import _REGISTRY, register_spec_file
+
+        spec = _empirical_spec()
+        path = tmp_path / "measured.spec.json"
+        path.write_text(dumps_spec(spec, meta={"calibrated_from": "t.csv"}))
+        scenario = register_spec_file(str(path), name="test-calibrated")
+        try:
+            built = scenario.build(11, 99)
+            assert built.n_users == 11
+            assert built.seed == 99
+            assert built.user_types == spec.user_types
+            assert "t.csv" in scenario.description
+        finally:
+            _REGISTRY.pop("test-calibrated", None)
