@@ -1,0 +1,179 @@
+"""Backend throughput: DES simulation vs analytic fast replay.
+
+Runs the same ``mixed-campus`` population once through the discrete-event
+``nfs`` backend and once through the engine-free ``fast`` backend and
+reports, per backend, wall-clock time and ops per second — plus the
+speedup of fast over sim.  Before timing anything it asserts the two
+backends' **op streams are byte-identical** (op kind, path, size, per
+user and session) at a reduced population: that identity is the staged
+pipeline's core guarantee, and a throughput number for a *different*
+workload would be meaningless.
+
+Machine-readable results go to ``BENCH_backends.json`` (override with
+``BENCH_BACKENDS_JSON``).  ``BENCH_BACKENDS_USERS`` shrinks the timed
+population for CI smoke runs; the ≥5x speedup assertion only applies to
+full-size runs.
+
+Run either way::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_backends.py -q
+    PYTHONPATH=src python benchmarks/bench_backends.py
+"""
+
+import json
+import os
+import time
+
+from repro.core import WorkloadGenerator
+from repro.fleet import FleetConfig, run_fleet
+from repro.harness import format_table
+from repro.scenarios import get_scenario
+
+DEFAULT_USERS = 120
+SEED = 7
+SCENARIO = "mixed-campus"
+BACKENDS = ("nfs", "fast")
+MIN_SPEEDUP = 5.0
+DEFAULT_JSON_PATH = "BENCH_backends.json"
+
+USERS = int(os.environ.get("BENCH_BACKENDS_USERS", DEFAULT_USERS))
+JSON_PATH = os.environ.get("BENCH_BACKENDS_JSON", DEFAULT_JSON_PATH)
+
+
+def _content_by_user(log):
+    """Per-user, in-order, timing-free projection of an op log.
+
+    The DES interleaves users on the engine clock while fast replay runs
+    them sequentially, so global order legitimately differs — but each
+    user's own stream must match element for element.
+    """
+    by_user = {}
+    for o in log.operations:
+        by_user.setdefault(o.user_id, []).append(
+            (o.session_id, o.op, o.path, o.category_key, o.size)
+        )
+    return by_user
+
+
+def assert_identical_streams(users: int, seed: int = SEED) -> int:
+    """Run both backends with full op logs; assert stream identity.
+
+    Returns the number of ops compared.
+    """
+    scenario = get_scenario(SCENARIO)
+    spec = scenario.build(users, seed)
+    logs = {}
+    for backend in BACKENDS:
+        result = WorkloadGenerator(spec).run_simulated(
+            sessions_per_user=scenario.default_sessions,
+            backend=backend,
+            access_pattern=scenario.access_pattern,
+        )
+        logs[backend] = result.log
+    sim_ops = _content_by_user(logs["nfs"])
+    fast_ops = _content_by_user(logs["fast"])
+    assert sim_ops == fast_ops, (
+        "fast backend op stream diverged from the DES stream"
+    )
+    return sum(len(ops) for ops in sim_ops.values())
+
+
+def backend_throughput_results(users: int = None, seed: int = SEED) -> dict:
+    """Determinism check + timed sweep; returns the result dict."""
+    users = USERS if users is None else users
+    check_users = max(4, users // 8)
+    checked_ops = assert_identical_streams(check_users, seed)
+
+    runs = []
+    wall_by_backend = {}
+    for backend in BACKENDS:
+        started = time.perf_counter()
+        result = run_fleet(FleetConfig(
+            scenario=SCENARIO, users=users, shards=1, workers=1, seed=seed,
+            backend=backend,
+        ))
+        wall_s = time.perf_counter() - started
+        wall_by_backend[backend] = wall_s
+        runs.append({
+            "backend": backend,
+            "wall_s": wall_s,
+            "ops": result.tally.operations,
+            "ops_per_s": (result.tally.operations / wall_s
+                          if wall_s > 0 else 0.0),
+        })
+    return {
+        "benchmark": "backends",
+        "scenario": SCENARIO,
+        "users": users,
+        "seed": seed,
+        "identical_streams": True,
+        "identity_checked_users": check_users,
+        "identity_checked_ops": checked_ops,
+        "speedup_fast_over_sim": (
+            wall_by_backend["nfs"] / wall_by_backend["fast"]
+            if wall_by_backend["fast"] > 0 else 0.0
+        ),
+        "runs": runs,
+    }
+
+
+def write_results_json(results: dict, path: str = None) -> str:
+    """Write the result dict as JSON; returns the path written."""
+    path = JSON_PATH if path is None else path
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(results, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return path
+
+
+def results_table(results: dict) -> str:
+    """Render the result dict as the human-readable table."""
+    rows = [
+        (run["backend"], run["wall_s"], run["ops"], run["ops_per_s"])
+        for run in results["runs"]
+    ]
+    return format_table(
+        ["backend", "wall s", "ops", "ops/s"],
+        rows,
+        title=(
+            f"Backend throughput — {results['scenario']}, "
+            f"{results['users']} users, seed {results['seed']}; "
+            f"streams identical over {results['identity_checked_ops']} ops; "
+            f"fast is {results['speedup_fast_over_sim']:.1f}x sim"
+        ),
+    )
+
+
+def _speedup_assertion_applies(results: dict) -> bool:
+    # Wall-clock ratios at smoke sizes are dominated by fixed setup
+    # (FSC, tabulation), so the throughput floor only binds full runs.
+    return results["users"] >= DEFAULT_USERS
+
+
+def test_bench_backends(benchmark):
+    from .conftest import emit, once
+
+    results = once(benchmark, backend_throughput_results)
+    emit("bench_backends", results_table(results))
+    path = write_results_json(results)
+    print(f"\nmachine-readable results written to {path}")
+    assert results["identical_streams"]
+    if _speedup_assertion_applies(results):
+        speedup = results["speedup_fast_over_sim"]
+        assert speedup >= MIN_SPEEDUP, (
+            f"expected fast backend >= {MIN_SPEEDUP}x sim ops/s, "
+            f"got {speedup:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    results = backend_throughput_results()
+    print(results_table(results))
+    path = write_results_json(results)
+    print(f"\nmachine-readable results written to {path}")
+    if _speedup_assertion_applies(results):
+        if results["speedup_fast_over_sim"] < MIN_SPEEDUP:
+            raise SystemExit(
+                f"expected fast backend >= {MIN_SPEEDUP}x sim, got "
+                f"{results['speedup_fast_over_sim']:.2f}x"
+            )

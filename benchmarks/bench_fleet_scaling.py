@@ -16,6 +16,12 @@ and ``BENCH_FLEET_SHARDS`` (comma-separated) shrink the sweep for CI
 smoke runs; the ≥2x speedup assertion only applies to full-size runs on
 machines with at least 4 usable cores.
 
+The JSON records both ``detected_cores`` (``os.cpu_count``) and
+``usable_cores`` (scheduler affinity, the honest number under cgroup
+limits), and a run's ``speedup`` is ``null`` — with a ``speedup_note``
+carrying the raw ratio — whenever there are fewer usable cores than
+shards, where the ratio would only measure multiprocessing overhead.
+
 Run either way::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_fleet_scaling.py -q
@@ -44,6 +50,7 @@ JSON_PATH = os.environ.get("BENCH_FLEET_JSON", DEFAULT_JSON_PATH)
 
 
 def _usable_cores() -> int:
+    """Cores this process may actually run on (cgroup/affinity-aware)."""
     try:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
@@ -55,6 +62,7 @@ def fleet_scaling_results(users: int = None, shard_counts=None,
     """Run the scaling sweep; return a machine-readable result dict."""
     users = USERS if users is None else users
     shard_counts = SHARD_COUNTS if shard_counts is None else shard_counts
+    usable_cores = _usable_cores()
     runs = []
     reference = None
     base_wall = None
@@ -70,11 +78,22 @@ def fleet_scaling_results(users: int = None, shard_counts=None,
         assert aggregate == reference, (
             f"aggregate at {shards} shards diverged from single-shard run"
         )
+        # Honesty rule: a speedup claim needs at least one usable core
+        # per shard.  On an oversubscribed box the ratio only measures
+        # multiprocessing overhead, so it is recorded as null with an
+        # explanatory note instead of a number someone might quote.
+        measured = base_wall / result.wall_s
+        cores_sufficient = usable_cores >= shards
         runs.append({
             "shards": shards,
             "workers": result.config.effective_workers(),
             "wall_s": result.wall_s,
-            "speedup": base_wall / result.wall_s,
+            "speedup": measured if cores_sufficient else None,
+            "speedup_note": (
+                None if cores_sufficient else
+                f"not meaningful: {usable_cores} usable core(s) < "
+                f"{shards} shards (measured ratio {measured:.2f}x)"
+            ),
             "ops": result.tally.operations,
             "ops_per_s": (result.tally.operations / result.wall_s
                           if result.wall_s > 0 else 0.0),
@@ -85,7 +104,8 @@ def fleet_scaling_results(users: int = None, shard_counts=None,
         "scenario": "mixed-campus",
         "users": users,
         "seed": seed,
-        "usable_cores": _usable_cores(),
+        "detected_cores": os.cpu_count() or 1,
+        "usable_cores": usable_cores,
         "runs": runs,
     }
 
@@ -102,8 +122,10 @@ def write_results_json(results: dict, path: str = None) -> str:
 def results_table(results: dict) -> str:
     """Render the result dict as the human-readable table."""
     rows = [
-        (run["shards"], run["wall_s"], run["speedup"], run["ops"],
-         run["ops_per_s"], "identical")
+        (run["shards"], run["wall_s"],
+         (f"{run['speedup']:.3f}" if run["speedup"] is not None
+          else "n/a (too few cores)"),
+         run["ops"], run["ops_per_s"], "identical")
         for run in results["runs"]
     ]
     return format_table(
@@ -112,7 +134,8 @@ def results_table(results: dict) -> str:
         title=(
             f"Fleet scaling — {results['scenario']}, {results['users']} "
             f"users, seed {results['seed']}, "
-            f"{results['usable_cores']} usable cores"
+            f"{results['usable_cores']}/{results['detected_cores']} "
+            f"usable/detected cores"
         ),
     )
 

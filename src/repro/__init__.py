@@ -49,6 +49,8 @@ Calibrating from a trace::
 
 from .core import (
     DistributionSpecifier,
+    ExecutionBackend,
+    FastReplayBackend,
     FileCategory,
     FileCategorySpec,
     FileSystemCreator,
@@ -108,6 +110,8 @@ __all__ = [
     "FileSystemCreator",
     "FileSystemLayout",
     "OpRecord",
+    "ExecutionBackend",
+    "FastReplayBackend",
     "PhaseModel",
     "RealRunner",
     "RunResult",

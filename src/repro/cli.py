@@ -90,8 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="run a simulated experiment")
     common(sim)
-    sim.add_argument("--backend", choices=("nfs", "local", "afs"),
-                     default="nfs")
+    sim.add_argument("--backend", choices=("nfs", "local", "afs", "fast"),
+                     default="nfs",
+                     help="execution backend: nfs/local/afs run the DES "
+                          "(full queueing fidelity); fast replays the "
+                          "identical op stream with analytic service "
+                          "times, no engine")
 
     real = sub.add_parser("real", help="drive a real directory")
     common(real)
@@ -132,8 +136,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--seed", type=int, default=0)
     fleet_run.add_argument("--files", type=int, default=None,
                            help="FSC file count (default: scenario-scaled)")
-    fleet_run.add_argument("--backend", choices=("nfs", "local", "afs"),
-                           default="nfs")
+    fleet_run.add_argument("--backend",
+                           choices=("nfs", "local", "afs", "fast"),
+                           default="nfs",
+                           help="DES backend, or `fast` for engine-free "
+                                "analytic replay (same op stream, several "
+                                "times the ops/s)")
     fleet_run.add_argument("--oplog", metavar="PATH", default=None,
                            help="also collect and write the merged usage log")
 
@@ -204,8 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: match the source)")
     t_val.add_argument("--shards", type=int, default=1,
                        help="regenerate via the fleet layer when > 1")
-    t_val.add_argument("--backend", choices=("nfs", "local", "afs"),
-                       default="nfs")
+    t_val.add_argument("--backend", choices=("nfs", "local", "afs", "fast"),
+                       default="nfs",
+                       help="regeneration backend; `fast` skips the DES "
+                            "(content-identical, so fidelity measures "
+                            "other than think time are unaffected)")
     t_val.add_argument("--threshold", type=float, default=None,
                        help="KS pass/fail threshold (default 0.35)")
     t_val.add_argument("--seed", type=int, default=None,

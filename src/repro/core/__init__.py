@@ -20,10 +20,24 @@ from .datasets import (
     paper_user_type,
     paper_workload_spec,
 )
+from .execution import (
+    AnalyticServiceModel,
+    DesBackend,
+    ExecutionBackend,
+    FastReplayBackend,
+    UserSessions,
+)
 from .fsc import CreatedFile, FileSystemCreator, FileSystemLayout
 from .gds import DistributionSpecifier
-from .generator import RunResult, SimulationHandle, TableSampler, WorkloadGenerator
-from .oplog import OpRecord, OpSink, SessionRecord, UsageLog
+from .generator import (
+    RUN_BACKENDS,
+    RunResult,
+    SIM_BACKENDS,
+    SimulationHandle,
+    TableSampler,
+    WorkloadGenerator,
+)
+from .oplog import OpRecord, OpSink, SessionAccounting, SessionRecord, UsageLog
 from .plotting import render_histogram, render_pdf, render_series, sparkline
 from .specjson import (
     dump_spec,
@@ -45,13 +59,8 @@ from .spec import (
     WorkloadSpec,
     partition_user_ids,
 )
-from .usim import (
-    PhaseModel,
-    RealRunner,
-    SessionGenerator,
-    SessionOp,
-    simulated_user_process,
-)
+from .synthesis import PhaseModel, SessionGenerator, SessionOp
+from .usim import RealRunner, simulated_user_process
 
 __all__ = [
     "CategoryCharacterization",
@@ -75,12 +84,20 @@ __all__ = [
     "FileSystemCreator",
     "FileSystemLayout",
     "DistributionSpecifier",
+    "AnalyticServiceModel",
+    "DesBackend",
+    "ExecutionBackend",
+    "FastReplayBackend",
+    "UserSessions",
+    "RUN_BACKENDS",
+    "SIM_BACKENDS",
     "RunResult",
     "SimulationHandle",
     "TableSampler",
     "WorkloadGenerator",
     "OpRecord",
     "OpSink",
+    "SessionAccounting",
     "SessionRecord",
     "UsageLog",
     "render_histogram",

@@ -1,0 +1,256 @@
+"""Execution backends — the *how long* of the workload.
+
+Stage three of the generation pipeline (plan → synthesize → execute):
+an :class:`ExecutionBackend` replays the pure operation streams produced
+by :class:`~repro.core.synthesis.SessionGenerator` and attaches timing.
+Two implementations ship:
+
+* :class:`DesBackend` — the discrete-event simulation path.  Every call
+  runs through a simulated file-system client (NFS, local-disk or
+  AFS-like), users contend for shared server/network/disk resources, and
+  response times come off the engine clock.  Full timing fidelity, one
+  Python-generator resumption chain per call.
+* :class:`FastReplayBackend` — the throughput path.  Each op is charged
+  the *analytic mean* service time of the same calibrated timing
+  parameters (:class:`AnalyticServiceModel`), with no queueing and no
+  engine.  Several times the ops/s (the floor ``benchmarks/
+  bench_backends.py`` enforces is 5x); identical op stream.
+
+Both record through the :class:`~repro.core.oplog.OpSink` protocol.
+Because synthesis is a pure function of ``(root seed, user id)``, the
+two backends emit **byte-identical** op sequences (op kind, path, size)
+— only ``start_us``/``response_us`` differ.  ``benchmarks/
+bench_backends.py`` asserts the identity and records the measured
+speedup in ``BENCH_backends.json``.
+
+What the fast path gives up: queueing.  Users do not contend, so
+response times carry no load dependence — Figure 5.6-style saturation
+experiments need the DES.  Use ``fast`` when the *content* of the
+workload is the product (trace generation, calibration loops, fleet
+scale-out) and ``nfs``/``local``/``afs`` when timing is.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..nfs import NfsTiming, SUN_NFS_TIMING
+from .oplog import OpRecord, OpSink, SessionAccounting, apply_op_effects
+from .synthesis import SessionGenerator
+
+__all__ = [
+    "UserSessions",
+    "ExecutionBackend",
+    "DesBackend",
+    "AnalyticServiceModel",
+    "FastReplayBackend",
+]
+
+
+@dataclass(frozen=True)
+class UserSessions:
+    """One user's work order: a synthesizer plus a session count."""
+
+    generator: SessionGenerator
+    sessions: int
+    inter_session_us: float = 0.0
+
+
+class ExecutionBackend(abc.ABC):
+    """Replays synthesized op streams, attaching timing and recording."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        tasks: Sequence[UserSessions],
+        log: OpSink,
+        time_limit_us: float | None = None,
+    ) -> float:
+        """Run every task, record into ``log``, return the duration (µs).
+
+        ``time_limit_us`` truncates the run: the DES stops the shared
+        engine clock at the limit, the fast backend stops each user's
+        own clock (users are independent there).  A session cut off by
+        the limit records its executed ops but no session summary —
+        matching the DES, where an interrupted process never reaches its
+        accounting epilogue.
+        """
+
+
+class DesBackend(ExecutionBackend):
+    """Discrete-event execution on a simulated file-system client.
+
+    ``engine`` and ``client`` come from
+    :meth:`~repro.core.generator.WorkloadGenerator.build_simulation`; all
+    users run concurrently and contend for the simulated resources.
+    """
+
+    name = "sim"
+
+    def __init__(self, engine, client):
+        self.engine = engine
+        self.client = client
+
+    def execute(
+        self,
+        tasks: Sequence[UserSessions],
+        log: OpSink,
+        time_limit_us: float | None = None,
+    ) -> float:
+        from .usim import simulated_user_process  # usim imports the sim layer
+
+        processes = [
+            self.engine.spawn(
+                simulated_user_process(
+                    self.engine, self.client, task.generator, task.sessions,
+                    log, inter_session_us=task.inter_session_us,
+                ),
+                name=f"user-{task.generator.user_id}",
+            )
+            for task in tasks
+        ]
+        self.engine.run_until_processes_finish(processes, limit=time_limit_us)
+        return self.engine.now
+
+
+class AnalyticServiceModel:
+    """Mean per-call service times derived from an ``NfsTiming`` set.
+
+    The fast backend applies the DES's calibrated timing parameters
+    *analytically*: each call is charged the expected cost of its
+    components under no contention —
+
+    * every call pays the client's syscall overhead;
+    * calls that reach the server (everything but ``lseek``) pay one RPC
+      round trip (two network latencies plus header transmission) and
+      the server's fixed per-op CPU cost;
+    * data-moving calls additionally pay, per
+      ``client.max_transfer_bytes`` page, one extra RPC round trip and
+      per-op CPU charge, and per byte the network transmission, server
+      CPU, and amortised disk-transfer cost.
+
+    Deterministic by construction: no random state, so the fast path
+    consumes exactly the same random streams as the DES path (none
+    beyond synthesis).
+    """
+
+    _LOCAL_OPS = frozenset({"lseek"})
+    _DATA_OPS = frozenset({"read", "write", "listdir"})
+
+    def __init__(self, timing: NfsTiming | None = None):
+        timing = timing or SUN_NFS_TIMING
+        self.timing = timing
+        net, disk = timing.network, timing.disk
+        server, client = timing.server, timing.client
+        header_bytes = net.rpc_request_bytes + net.rpc_reply_bytes
+        self.syscall_us = client.syscall_overhead_us
+        self.round_trip_us = (
+            2.0 * net.latency_us + header_bytes / net.bandwidth_bytes_per_us
+        )
+        self.per_rpc_us = self.round_trip_us + server.cpu_per_op_us
+        self.per_byte_us = (
+            1.0 / net.bandwidth_bytes_per_us
+            + server.cpu_per_byte_us
+            + 1.0 / disk.transfer_bytes_per_us
+        )
+        self.page_bytes = max(1, client.max_transfer_bytes)
+
+    def response_us(self, kind: str, nbytes: int = 0) -> float:
+        """Expected service time of one call moving ``nbytes`` bytes."""
+        if kind in self._LOCAL_OPS:
+            return self.syscall_us
+        cost = self.syscall_us + self.per_rpc_us
+        if kind in self._DATA_OPS and nbytes > 0:
+            pages = (nbytes + self.page_bytes - 1) // self.page_bytes
+            cost += (pages - 1) * self.per_rpc_us + nbytes * self.per_byte_us
+        return cost
+
+
+class FastReplayBackend(ExecutionBackend):
+    """Analytic replay: the op stream without the discrete-event engine.
+
+    Users run on independent virtual clocks (no cross-user queueing);
+    each op is charged its :class:`AnalyticServiceModel` mean service
+    time and streamed straight to the :class:`~repro.core.oplog.OpSink`.
+    The reported duration is the slowest user's clock.
+    """
+
+    name = "fast"
+
+    def __init__(self, timing: NfsTiming | None = None,
+                 model: AnalyticServiceModel | None = None):
+        self.model = model or AnalyticServiceModel(timing)
+
+    def execute(
+        self,
+        tasks: Sequence[UserSessions],
+        log: OpSink,
+        time_limit_us: float | None = None,
+    ) -> float:
+        duration = 0.0
+        for task in tasks:
+            duration = max(duration, self._run_user(task, log, time_limit_us))
+        return duration
+
+    def _run_user(self, task: UserSessions, log: OpSink,
+                  limit: float | None) -> float:
+        generator = task.generator
+        user_id = generator.user_id
+        type_name = generator.user_type.name
+        response_us = self.model.response_us
+        record_op = log.record_op
+        clock = 0.0
+        for session_id in range(task.sessions):
+            if limit is not None and clock >= limit:
+                break
+            accounting = SessionAccounting(user_id, type_name, session_id,
+                                           clock)
+            path_by_plan: dict[int, str] = {}
+            truncated = False
+            for op in generator.generate_session(session_id):
+                kind = op.kind
+                if kind == "think":
+                    clock += op.size
+                    continue
+                if limit is not None and clock >= limit:
+                    truncated = True
+                    break
+                if kind in ("open", "creat"):
+                    path_by_plan[op.plan_id] = op.path
+                # No I/O happens here, so the recorded size is the
+                # synthesized one — the same rules as the other backends,
+                # via the shared helper.
+                moved = apply_op_effects(op, accounting)
+                service = response_us(kind, op.size)
+                record_op(
+                    OpRecord(
+                        user_id=user_id,
+                        user_type=type_name,
+                        session_id=session_id,
+                        op=kind,
+                        path=op.path or path_by_plan.get(op.plan_id, ""),
+                        category_key=op.category_key or "",
+                        size=moved,
+                        start_us=clock,
+                        response_us=service,
+                    )
+                )
+                clock += service
+            if limit is not None and not truncated and clock > limit:
+                # A trailing think pushed the clock past the limit with no
+                # further op to notice: the session did not complete within
+                # the limit either.
+                truncated = True
+            if truncated:
+                # Matches the DES cutoff: the interrupted session's ops
+                # are recorded but its summary is not.
+                clock = limit if limit is not None else clock
+                break
+            log.record_session(accounting.finish(clock))
+            if task.inter_session_us > 0:
+                clock += task.inter_session_us
+        return clock if limit is None else min(clock, limit)

@@ -7,10 +7,13 @@ thesis's block diagram does:
    file and usage distribution and produces CDF tables;
 2. the FSC (:class:`~repro.core.fsc.FileSystemCreator`) creates the initial
    file system from the file-distribution tables;
-3. the USIM (:class:`~repro.core.usim.SessionGenerator` plus an executor)
-   executes file I/O operations drawn from the usage-distribution tables,
-   either inside the discrete-event simulation (simulated SUN NFS,
-   local-disk or AFS-like backends) or against a real directory.
+3. the USIM — staged as *synthesize* then *execute*: a pure
+   :class:`~repro.core.synthesis.SessionGenerator` draws file I/O
+   operations from the usage-distribution tables, and an
+   :class:`~repro.core.execution.ExecutionBackend` replays them — inside
+   the discrete-event simulation (simulated SUN NFS, local-disk or
+   AFS-like backends), through the engine-free analytic ``fast`` replay,
+   or against a real directory.
 
 Sampling in both the FSC and the USIM goes through the GDS's CDF tables —
 not the parametric forms — matching the thesis's pipeline (and its
@@ -38,15 +41,29 @@ from ..nfs import (
 from ..sim import Engine
 from ..vfs import FileSystemAPI, LocalFileSystem, MemoryFileSystem
 from .analyzer import UsageAnalyzer
+from .execution import DesBackend, ExecutionBackend, FastReplayBackend, UserSessions
 from .fsc import FileSystemCreator, FileSystemLayout
 from .gds import DistributionSpecifier
 from .oplog import OpSink, UsageLog
 from .spec import UsageSpec, UserTypeSpec, WorkloadSpec
-from .usim import PhaseModel, RealRunner, SessionGenerator, simulated_user_process
+from .synthesis import SessionGenerator
+from .usim import RealRunner
 
-__all__ = ["WorkloadGenerator", "RunResult", "SimulationHandle", "TableSampler"]
+__all__ = [
+    "WorkloadGenerator",
+    "RunResult",
+    "SimulationHandle",
+    "TableSampler",
+    "SIM_BACKENDS",
+    "RUN_BACKENDS",
+]
 
-_BACKENDS = ("nfs", "local", "afs")
+SIM_BACKENDS = ("nfs", "local", "afs")
+"""Discrete-event simulation backends (full queueing fidelity)."""
+
+RUN_BACKENDS = SIM_BACKENDS + ("fast",)
+"""Everything :meth:`WorkloadGenerator.run_simulated` accepts: the DES
+backends plus the engine-free analytic ``fast`` replay."""
 
 
 class TableSampler:
@@ -204,9 +221,11 @@ class WorkloadGenerator:
 
     def build_simulation(self, backend: str = "nfs",
                          timing: NfsTiming | None = None) -> SimulationHandle:
-        """Construct engine + server + network + client for a backend."""
-        if backend not in _BACKENDS:
-            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        """Construct engine + server + network + client for a DES backend."""
+        if backend not in SIM_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SIM_BACKENDS}, got {backend!r}"
+            )
         engine = Engine()
         timing = timing or SUN_NFS_TIMING
         if backend == "local":
@@ -226,6 +245,61 @@ class WorkloadGenerator:
             store=server.store, backend=backend,
         )
 
+    # -- the staged pipeline -----------------------------------------------------------
+
+    def plan_users(
+        self, user_ids: Iterable[int] | None = None
+    ) -> tuple[list[UserTypeSpec], list[int]]:
+        """Stage 1 (plan): the population's type assignment and selection.
+
+        Returns ``(assignment, selected)`` where ``assignment[u]`` is
+        user ``u``'s type for the *whole* population and ``selected`` is
+        the sorted subset of user ids this run will execute (everyone
+        when ``user_ids`` is None — the fleet layer passes shards).
+        """
+        assignment = self.spec.assign_user_types()
+        if user_ids is None:
+            selected = list(range(len(assignment)))
+        else:
+            selected = sorted(set(int(u) for u in user_ids))
+            bad = [u for u in selected if not (0 <= u < len(assignment))]
+            if bad:
+                raise ValueError(
+                    f"user_ids outside [0, {len(assignment)}): {bad}"
+                )
+        return assignment, selected
+
+    def synthesize_users(
+        self,
+        layout: FileSystemLayout,
+        selected: Iterable[int],
+        assignment: "list[UserTypeSpec] | None" = None,
+        access_pattern: str = "sequential",
+        phase_model_factory=None,
+    ) -> list[SessionGenerator]:
+        """Stage 2 (synthesize): one pure op-stream generator per user.
+
+        The returned :class:`~repro.core.synthesis.SessionGenerator`\\ s
+        sample from GDS CDF tables through batched per-quantity streams;
+        they carry no timing and can be drained directly (``for op in
+        g.generate_session(0)``) or handed to an execution backend.
+        """
+        if assignment is None:
+            assignment = self.spec.assign_user_types()
+        tabulated = {t.name: t for t in self._tabulate_user_types()}
+        return [
+            SessionGenerator(
+                tabulated[assignment[user_id].name],
+                layout,
+                self.streams,
+                user_id=user_id,
+                access_pattern=access_pattern,
+                phase_model=(phase_model_factory()
+                             if phase_model_factory else None),
+            )
+            for user_id in selected
+        ]
+
     def run_simulated(
         self,
         sessions_per_user: int = 1,
@@ -237,12 +311,19 @@ class WorkloadGenerator:
         user_ids: Iterable[int] | None = None,
         log: OpSink | None = None,
     ) -> RunResult:
-        """Full simulated experiment: FSC, then all users concurrently.
+        """Full experiment: plan, synthesize, then execute on a backend.
 
         The file system is created on the backend's store *before* time
         starts (setup is not part of the measured workload, exactly as the
         thesis separates FSC from USIM).  Every virtual user runs
         ``sessions_per_user`` login sessions.
+
+        ``backend`` selects the execution stage: ``nfs``/``local``/``afs``
+        run the discrete-event simulation (shared resources, queueing,
+        full timing fidelity); ``fast`` replays the identical op stream
+        through :class:`~repro.core.execution.FastReplayBackend`,
+        charging analytic mean service times with no engine — several
+        times the ops/s when only the workload *content* matters.
 
         ``user_ids`` restricts the run to a subset of the population (the
         fleet layer's shards).  Each selected user keeps the identity —
@@ -254,54 +335,46 @@ class WorkloadGenerator:
         """
         if sessions_per_user < 1:
             raise ValueError("sessions_per_user must be >= 1")
-        assignment = self.spec.assign_user_types()
-        if user_ids is None:
-            selected = list(range(len(assignment)))
+        if backend not in RUN_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {RUN_BACKENDS}, got {backend!r}"
+            )
+        assignment, selected = self.plan_users(user_ids)
+        handle = None
+        executor: ExecutionBackend
+        if backend == "fast":
+            # No store is ever read: materialise nothing per-user, just
+            # sample the manifest (sizes are drawn identically either
+            # way, so the layout — and hence the op stream — matches the
+            # DES run bit for bit).
+            layout = self.create_file_system(
+                MemoryFileSystem(), materialize_users=set()
+            )
+            executor = FastReplayBackend(timing)
         else:
-            selected = sorted(set(int(u) for u in user_ids))
-            bad = [u for u in selected if not (0 <= u < len(assignment))]
-            if bad:
-                raise ValueError(
-                    f"user_ids outside [0, {len(assignment)}): {bad}"
-                )
-        handle = self.build_simulation(backend, timing)
-        layout = self.create_file_system(
-            handle.store,
-            materialize_users=None if user_ids is None else set(selected),
-        )
+            handle = self.build_simulation(backend, timing)
+            layout = self.create_file_system(
+                handle.store,
+                materialize_users=None if user_ids is None else set(selected),
+            )
+            executor = DesBackend(handle.engine, handle.client)
         if log is None:
             log = UsageLog()
-        tabulated = {t.name: t for t in self._tabulate_user_types()}
-
-        processes = []
-        for user_id in selected:
-            user_type = assignment[user_id]
-            generator = SessionGenerator(
-                tabulated[user_type.name],
-                layout,
-                self.streams,
-                user_id=user_id,
-                access_pattern=access_pattern,
-                phase_model=(phase_model_factory()
-                             if phase_model_factory else None),
-            )
-            processes.append(
-                handle.engine.spawn(
-                    simulated_user_process(
-                        handle.engine, handle.client, generator,
-                        sessions_per_user, log,
-                    ),
-                    name=f"user-{user_id}",
-                )
-            )
-        handle.engine.run_until_processes_finish(processes,
-                                                 limit=time_limit_us)
+        generators = self.synthesize_users(
+            layout, selected, assignment,
+            access_pattern=access_pattern,
+            phase_model_factory=phase_model_factory,
+        )
+        duration_us = executor.execute(
+            [UserSessions(g, sessions_per_user) for g in generators],
+            log, time_limit_us=time_limit_us,
+        )
         return RunResult(
             spec=self.spec,
             layout=layout,
             log=log,
             backend=backend,
-            simulated_duration_us=handle.engine.now,
+            simulated_duration_us=duration_us,
             handle=handle,
         )
 

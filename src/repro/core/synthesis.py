@@ -1,0 +1,445 @@
+"""Pure operation synthesis — the *what* of the workload, with no timing.
+
+Section 4.1.3's USIM repeatedly selects "a file access operation to be
+performed, the file on which to perform the operation, the amount of this
+file to access, and the time delay to the next operation".  This module
+implements exactly that selection as a pure, deterministic function of
+``(root seed, user id)`` — stage two of the generation pipeline:
+
+1. **plan** — :meth:`~repro.core.generator.WorkloadGenerator` assigns
+   user types and builds the FSC layout manifest;
+2. **synthesize** (this module) — :class:`SessionGenerator` turns a user
+   type's usage distributions into a stream of :class:`SessionOp`
+   system-call operations for each login session;
+3. **execute** — an :class:`~repro.core.execution.ExecutionBackend`
+   replays the stream and attaches timing (discrete-event simulation,
+   analytic fast replay, or a real file system).
+
+Nothing here imports the simulator: the op stream exists independently of
+how (or whether) it is timed, which is what lets the fast backend skip
+the DES entirely while producing a byte-identical stream.
+
+Sampling is *batched*: every per-quantity random stream is wrapped in a
+:class:`~repro.distributions.batch.BatchSampler` that pre-draws blocks of
+variates with one vectorized call instead of paying NumPy's scalar-call
+overhead per operation.
+
+Extensions beyond the thesis's minimum (its section 6.2 future work):
+
+* ``access_pattern="random"`` switches the per-file access from purely
+  sequential to uniform random offsets (the database-style behaviour the
+  thesis flags as unsupported);
+* :class:`PhaseModel` gives a user time-varying behaviour via a two-state
+  Markov chain (I/O-bound vs CPU-bound think-time multipliers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..distributions import BatchSampler, RandomStreams, Uniform
+from ..vfs import OpenFlags
+from .fsc import FileSystemLayout
+from .spec import UsageSpec, UserTypeSpec, UseType
+
+__all__ = [
+    "SessionOp",
+    "PhaseModel",
+    "SessionGenerator",
+]
+
+_UNIT = Uniform(0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class SessionOp:
+    """One element of a session's operation stream.
+
+    ``size`` is overloaded per kind: file size for open/creat, byte count
+    for read/write/listdir, absolute offset for lseek, microseconds for
+    think.
+    """
+
+    kind: str                       # open|creat|read|write|lseek|close|
+    #                                 unlink|stat|listdir|think
+    plan_id: int | None = None      # links data ops to their open file
+    path: str | None = None
+    category_key: str | None = None
+    size: int = 0
+    flags: OpenFlags = OpenFlags.RDONLY
+
+
+class PhaseModel:
+    """Two-state Markov modulation of think time (section 6.2 extension).
+
+    State ``io`` uses the base think-time distribution; state ``cpu``
+    multiplies it by ``cpu_multiplier`` (the user is computing, not doing
+    I/O).  Transition probabilities are per-operation.
+    """
+
+    def __init__(self, cpu_multiplier: float = 8.0,
+                 p_enter_cpu: float = 0.05, p_exit_cpu: float = 0.3):
+        if cpu_multiplier < 0:
+            raise ValueError("cpu_multiplier must be >= 0")
+        for name, p in (("p_enter_cpu", p_enter_cpu), ("p_exit_cpu", p_exit_cpu)):
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"{name} must be a probability")
+        self.cpu_multiplier = cpu_multiplier
+        self.p_enter_cpu = p_enter_cpu
+        self.p_exit_cpu = p_exit_cpu
+        self.state = "io"
+
+    def step(self, u: float) -> float:
+        """Advance the chain one step on uniform draw ``u``; return the
+        current think-time multiplier."""
+        if self.state == "io":
+            if u < self.p_enter_cpu:
+                self.state = "cpu"
+        else:
+            if u < self.p_exit_cpu:
+                self.state = "io"
+        return self.cpu_multiplier if self.state == "cpu" else 1.0
+
+    def multiplier(self, rng) -> float:
+        """Advance the chain one step drawing from ``rng`` directly."""
+        return self.step(float(rng.random()))
+
+
+class _FilePlan:
+    """A per-file script: open → data ops → close (+unlink for TEMP)."""
+
+    def __init__(self, plan_id: int, ops: list[SessionOp]):
+        self.plan_id = plan_id
+        self._ops = ops
+        self._next = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self._ops)
+
+    def pop(self) -> SessionOp:
+        op = self._ops[self._next]
+        self._next += 1
+        return op
+
+
+@dataclass(frozen=True)
+class _UsageSamplers:
+    """The batched per-usage-entry samplers (one set per file category)."""
+
+    usage: UsageSpec
+    file_count: BatchSampler
+    access_per_byte: BatchSampler
+    file_size: BatchSampler
+
+
+class SessionGenerator:
+    """Generates login-session operation streams for one virtual user.
+
+    Determinism contract (load-bearing for :mod:`repro.fleet` and for
+    cross-backend stream identity): all of a user's randomness comes from
+    ``streams.fork(f"user-{user_id}")``, a family derived from the *root*
+    seed and the user id alone, with one named sub-stream per sampled
+    quantity (selection, per-category counts/budgets/sizes, chunk sizes,
+    write mix, seek offsets, think times, phase transitions).  A user's
+    operation stream is therefore identical no matter which other users
+    run alongside it, which worker process it runs in, or which execution
+    backend replays it — this is what makes sharded fleet runs aggregate
+    bit-for-bit to the single-process result and what lets the fast
+    backend reproduce the DES op stream exactly.
+
+    The per-quantity streams also make block pre-drawing safe: a
+    :class:`~repro.distributions.BatchSampler` refills from its own
+    stream in bursts, which would reorder draws on a shared stream but is
+    invisible on a dedicated one.
+    """
+
+    def __init__(
+        self,
+        user_type: UserTypeSpec,
+        layout: FileSystemLayout,
+        streams: RandomStreams,
+        user_id: int,
+        access_pattern: str = "sequential",
+        phase_model: PhaseModel | None = None,
+    ):
+        if access_pattern not in ("sequential", "random"):
+            raise ValueError(
+                f"access_pattern must be sequential|random, got "
+                f"{access_pattern!r}"
+            )
+        self.user_type = user_type
+        self.layout = layout
+        self.user_id = user_id
+        self.access_pattern = access_pattern
+        self.phase_model = phase_model
+        base = streams.fork(f"user-{user_id}")
+        self._rng_select = base.get("select")
+        self._chunk = BatchSampler(user_type.access_size, base.get("chunk"),
+                                   block=512)
+        self._think = BatchSampler(user_type.think_time, base.get("think"),
+                                   block=512)
+        self._write_mix = BatchSampler(_UNIT, base.get("write-mix"), block=512)
+        self._seek = BatchSampler(_UNIT, base.get("seek"), block=256)
+        self._phase = BatchSampler(_UNIT, base.get("phase"), block=256)
+        self._usage_samplers = tuple(
+            _UsageSamplers(
+                usage=usage,
+                file_count=BatchSampler(
+                    usage.file_count,
+                    base.get(f"count:{usage.category.key}"), block=32,
+                ),
+                access_per_byte=BatchSampler(
+                    usage.access_per_byte,
+                    base.get(f"apb:{usage.category.key}"), block=128,
+                ),
+                file_size=BatchSampler(
+                    usage.file_size,
+                    base.get(f"size:{usage.category.key}"), block=32,
+                ),
+            )
+            for usage in user_type.usage
+        )
+        self._plan_counter = 0
+
+    # -- sampling helpers --------------------------------------------------------
+
+    # Fitted distributions can emit pathological variates (NaN from a
+    # degenerate fit, negative values from a shifted family).  Each helper
+    # clamps to its quantity's valid range instead of letting the value
+    # reach an executor — where it would surface much later as an
+    # ``int(nan)`` ValueError or a negative Delay SimulationError.
+
+    def _sample_count(self, samplers: _UsageSamplers) -> int:
+        raw = samplers.file_count.draw()
+        if not math.isfinite(raw):
+            return 1
+        return max(1, int(round(raw)))
+
+    def _sample_ratio(self, samplers: _UsageSamplers) -> float:
+        """A non-negative, finite accesses-per-byte draw."""
+        ratio = samplers.access_per_byte.draw()
+        if not math.isfinite(ratio) or ratio < 0.0:
+            return 0.0
+        return ratio
+
+    def _sample_access_budget(self, samplers: _UsageSamplers,
+                              file_size: int) -> int:
+        return int(round(self._sample_ratio(samplers) * file_size))
+
+    def _sample_file_size(self, samplers: _UsageSamplers) -> int:
+        raw = samplers.file_size.draw()
+        if not math.isfinite(raw):
+            return 1
+        return max(1, int(round(raw)))
+
+    def _sample_chunk(self, remaining: int) -> int:
+        raw = self._chunk.draw()
+        if not math.isfinite(raw):
+            return 1
+        return max(1, min(int(round(raw)), remaining))
+
+    def _sample_think_us(self) -> int:
+        raw = self._think.draw()
+        if self.phase_model is not None:
+            raw *= self.phase_model.step(self._phase.draw())
+        if not math.isfinite(raw) or raw < 0.0:
+            return 0
+        return int(round(raw))
+
+    def _seek_offset(self, file_size: int) -> int:
+        """A uniform random offset in ``[0, file_size)`` (random mode)."""
+        return min(int(self._seek.draw() * file_size), file_size - 1)
+
+    # -- per-category plan construction ------------------------------------------
+
+    def _data_ops(self, plan_id: int, budget: int, file_size: int,
+                  write_fraction: float,
+                  category_key: str | None = None) -> list[SessionOp]:
+        """Chunked read/write ops consuming ``budget`` bytes of a file.
+
+        Sequential mode walks the file, wrapping to offset 0 at EOF (the
+        thesis models sequential access only); random mode seeks to a
+        uniform offset before every chunk.
+        """
+        ops: list[SessionOp] = []
+        if budget <= 0 or file_size <= 0:
+            return ops
+        position = 0
+        remaining = budget
+        while remaining > 0:
+            if self.access_pattern == "random":
+                position = self._seek_offset(file_size)
+                ops.append(SessionOp("lseek", plan_id=plan_id, size=position,
+                                     category_key=category_key))
+            elif position >= file_size:
+                position = 0
+                ops.append(SessionOp("lseek", plan_id=plan_id, size=0,
+                                     category_key=category_key))
+            chunk = self._sample_chunk(min(remaining, file_size - position
+                                           if self.access_pattern == "sequential"
+                                           else remaining))
+            chunk = min(chunk, file_size - position)
+            if chunk <= 0:
+                position = 0
+                continue
+            is_write = self._write_mix.draw() < write_fraction
+            ops.append(
+                SessionOp(
+                    "write" if is_write else "read",
+                    plan_id=plan_id,
+                    size=chunk,
+                    category_key=category_key,
+                )
+            )
+            position += chunk
+            remaining -= chunk
+        return ops
+
+    def _write_out_ops(self, plan_id: int, target_size: int,
+                       category_key: str | None = None) -> list[SessionOp]:
+        """Sequential writes creating ``target_size`` bytes of fresh file."""
+        ops: list[SessionOp] = []
+        written = 0
+        while written < target_size:
+            chunk = self._sample_chunk(target_size - written)
+            ops.append(SessionOp("write", plan_id=plan_id, size=chunk,
+                                 category_key=category_key))
+            written += chunk
+        return ops
+
+    def _plan_for_existing(self, samplers: _UsageSamplers, path: str,
+                           file_size: int) -> _FilePlan:
+        """RDONLY / RD-WRT plan over a file the FSC created."""
+        category = samplers.usage.category
+        plan_id = self._next_plan_id()
+        budget = self._sample_access_budget(samplers, file_size)
+        write_fraction = 0.5 if category.use is UseType.RD_WRT else 0.0
+        mode = OpenFlags.RDWR if category.writes else OpenFlags.RDONLY
+        ops = [
+            SessionOp("open", plan_id=plan_id, path=path,
+                      category_key=category.key, size=file_size, flags=mode)
+        ]
+        ops.extend(self._data_ops(plan_id, budget, file_size, write_fraction,
+                                  category_key=category.key))
+        ops.append(SessionOp("close", plan_id=plan_id, path=path,
+                             category_key=category.key))
+        return _FilePlan(plan_id, ops)
+
+    def _plan_for_new(self, samplers: _UsageSamplers, path: str,
+                      temporary: bool) -> _FilePlan:
+        """NEW / TEMP plan: create, write out, (re-read and unlink)."""
+        category = samplers.usage.category
+        plan_id = self._next_plan_id()
+        target_size = self._sample_file_size(samplers)
+        flags = OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC
+        ops = [
+            SessionOp("creat", plan_id=plan_id, path=path,
+                      category_key=category.key, size=target_size,
+                      flags=flags)
+        ]
+        ops.extend(self._write_out_ops(plan_id, target_size,
+                                       category_key=category.key))
+        # Spend the rest of the category's access budget re-reading the
+        # fresh file: Table 5.2 gives NEW files 2.36 accesses per byte and
+        # TEMP files 2.00, i.e. well beyond the single write-out pass.
+        budget = self._sample_access_budget(samplers, target_size)
+        read_budget = max(0, budget - target_size)
+        if read_budget > 0:
+            ops.append(SessionOp("lseek", plan_id=plan_id, size=0,
+                                 category_key=category.key))
+            ops.extend(
+                self._data_ops(plan_id, read_budget, target_size, 0.0,
+                               category_key=category.key)
+            )
+        ops.append(SessionOp("close", plan_id=plan_id, path=path,
+                             category_key=category.key))
+        if temporary:
+            ops.append(SessionOp("unlink", path=path,
+                                 category_key=category.key))
+        return _FilePlan(plan_id, ops)
+
+    def _plan_for_directory(self, samplers: _UsageSamplers, path: str,
+                            dir_size: int) -> _FilePlan:
+        """DIR plan: stat once, then one readdir per whole-directory pass."""
+        category = samplers.usage.category
+        plan_id = self._next_plan_id()
+        passes = max(1, int(round(self._sample_ratio(samplers))))
+        ops = [SessionOp("stat", path=path, category_key=category.key,
+                         plan_id=plan_id, size=dir_size)]
+        for _ in range(passes):
+            ops.append(SessionOp("listdir", path=path,
+                                 category_key=category.key, size=dir_size))
+        return _FilePlan(plan_id, ops)
+
+    def _next_plan_id(self) -> int:
+        self._plan_counter += 1
+        return self._plan_counter
+
+    # -- session assembly ------------------------------------------------------------
+
+    def _build_plans(self, session_id: int) -> list[_FilePlan]:
+        plans: list[_FilePlan] = []
+        for samplers in self._usage_samplers:
+            usage = samplers.usage
+            if self._rng_select.random() >= usage.fraction_of_users:
+                continue
+            category = usage.category
+            count = self._sample_count(samplers)
+            if category.creates_files:
+                temporary = category.use is UseType.TEMP
+                home = self.layout.user_home(self.user_id)
+                prefix = "tmp" if temporary else "new"
+                for k in range(count):
+                    path = (
+                        f"{home}/{prefix}-s{session_id:04d}-"
+                        f"p{self._plan_counter:05d}-{k}"
+                    )
+                    plans.append(self._plan_for_new(samplers, path, temporary))
+                continue
+            pool = self.layout.files_for(category, self.user_id)
+            if not pool:
+                continue
+            chosen_idx = self._rng_select.choice(
+                len(pool), size=min(count, len(pool)), replace=False
+            )
+            for idx in chosen_idx.reshape(-1):
+                record = pool[int(idx)]
+                if category.is_directory:
+                    plans.append(
+                        self._plan_for_directory(samplers, record.path,
+                                                 record.size)
+                    )
+                else:
+                    plans.append(
+                        self._plan_for_existing(samplers, record.path,
+                                                record.size)
+                    )
+        return plans
+
+    def generate_session(self, session_id: int) -> Iterator[SessionOp]:
+        """Yield the operation stream of one login session.
+
+        File plans are interleaved by independent random selection among
+        the currently open files (the thesis's independence assumption),
+        with at most ``user_type.max_open_files`` concurrently open.
+        A think-time operation follows every file operation.
+        """
+        pending = self._build_plans(session_id)
+        active: list[_FilePlan] = []
+        max_open = self.user_type.max_open_files
+        while pending or active:
+            while pending and len(active) < max_open:
+                active.append(pending.pop(0))
+            if not active:
+                break
+            slot = int(self._rng_select.integers(0, len(active)))
+            plan = active[slot]
+            op = plan.pop()
+            yield op
+            if plan.exhausted:
+                active.pop(slot)
+            think = self._sample_think_us()
+            yield SessionOp("think", size=think)

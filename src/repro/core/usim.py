@@ -1,48 +1,35 @@
-"""The User Simulator (USIM).
+"""The User Simulator (USIM) — simulated and real executors.
 
 Section 4.1.3: the USIM "simulates workload on a terminal or workstation,
-i.e., a series of users logging in and using the computer", repeatedly
-selecting "a file access operation to be performed, the file on which to
-perform the operation, the amount of this file to access, and the time
-delay to the next operation".
+i.e., a series of users logging in and using the computer".  Since the
+pipeline split, the *selection* of operations lives in
+:mod:`repro.core.synthesis` (pure, no timing); this module holds the two
+executors that replay a synthesized stream against something that takes
+time:
 
-The implementation separates two concerns:
+* :func:`simulated_user_process` — a DES process replaying the stream
+  inside the discrete-event simulation against a simulated file-system
+  client, measuring response times off the engine clock.  Wrapped by
+  :class:`~repro.core.execution.DesBackend`.
+* :class:`RealRunner` — replays against a real (or in-memory)
+  ``FileSystemAPI`` and measures wall-clock time, the thesis's
+  "difference of before and after calling a system call".
 
-* :class:`SessionGenerator` — turns a user type's usage distributions into
-  a *stream of system-call operations* for one login session.  Pure and
-  deterministic given its random streams; this is where the thesis's
-  modelling assumptions live (independent selection, sequential access,
-  open-before-read/write, per-category behaviour).
-* Executors — :func:`simulated_user_process` replays a stream inside the
-  discrete-event simulation against a simulated file-system client and
-  measures response times off the engine clock; :class:`RealRunner`
-  replays it against a real (or in-memory) ``FileSystemAPI`` and measures
-  wall-clock time, the thesis's "difference of before and after calling a
-  system call".
+The engine-free analytic executor lives in
+:class:`~repro.core.execution.FastReplayBackend`.
 
-Extensions beyond the thesis's minimum (its section 6.2 future work):
-
-* ``access_pattern="random"`` switches the per-file access from purely
-  sequential to uniform random offsets (the database-style behaviour the
-  thesis flags as unsupported);
-* :class:`PhaseModel` gives a user time-varying behaviour via a two-state
-  Markov chain (I/O-bound vs CPU-bound think-time multipliers).
+``SessionOp``, ``PhaseModel`` and ``SessionGenerator`` are re-exported
+here for compatibility with pre-split imports.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, Iterator
 
-import numpy as np
-
-from ..distributions import RandomStreams
 from ..sim import Delay, Engine
-from ..vfs import FileSystemAPI, OpenFlags, Whence
-from .fsc import FileSystemLayout
-from .oplog import OpRecord, OpSink, SessionRecord
-from .spec import FileCategory, UsageSpec, UserTypeSpec, UseType
+from ..vfs import FileSystemAPI, Whence
+from .oplog import OpRecord, OpSink, SessionAccounting, apply_op_effects
+from .synthesis import PhaseModel, SessionGenerator, SessionOp
 
 __all__ = [
     "SessionOp",
@@ -51,365 +38,6 @@ __all__ = [
     "simulated_user_process",
     "RealRunner",
 ]
-
-
-@dataclass(frozen=True)
-class SessionOp:
-    """One element of a session's operation stream.
-
-    ``size`` is overloaded per kind: file size for open/creat, byte count
-    for read/write/listdir, absolute offset for lseek, microseconds for
-    think.
-    """
-
-    kind: str                       # open|creat|read|write|lseek|close|
-    #                                 unlink|stat|listdir|think
-    plan_id: int | None = None      # links data ops to their open file
-    path: str | None = None
-    category_key: str | None = None
-    size: int = 0
-    flags: OpenFlags = OpenFlags.RDONLY
-
-
-class PhaseModel:
-    """Two-state Markov modulation of think time (section 6.2 extension).
-
-    State ``io`` uses the base think-time distribution; state ``cpu``
-    multiplies it by ``cpu_multiplier`` (the user is computing, not doing
-    I/O).  Transition probabilities are per-operation.
-    """
-
-    def __init__(self, cpu_multiplier: float = 8.0,
-                 p_enter_cpu: float = 0.05, p_exit_cpu: float = 0.3):
-        if cpu_multiplier < 0:
-            raise ValueError("cpu_multiplier must be >= 0")
-        for name, p in (("p_enter_cpu", p_enter_cpu), ("p_exit_cpu", p_exit_cpu)):
-            if not (0.0 <= p <= 1.0):
-                raise ValueError(f"{name} must be a probability")
-        self.cpu_multiplier = cpu_multiplier
-        self.p_enter_cpu = p_enter_cpu
-        self.p_exit_cpu = p_exit_cpu
-        self.state = "io"
-
-    def multiplier(self, rng: np.random.Generator) -> float:
-        """Advance the chain one step; return the current multiplier."""
-        if self.state == "io":
-            if rng.random() < self.p_enter_cpu:
-                self.state = "cpu"
-        else:
-            if rng.random() < self.p_exit_cpu:
-                self.state = "io"
-        return self.cpu_multiplier if self.state == "cpu" else 1.0
-
-
-class _FilePlan:
-    """A per-file script: open → data ops → close (+unlink for TEMP)."""
-
-    def __init__(self, plan_id: int, ops: list[SessionOp]):
-        self.plan_id = plan_id
-        self._ops = ops
-        self._next = 0
-
-    @property
-    def exhausted(self) -> bool:
-        return self._next >= len(self._ops)
-
-    def pop(self) -> SessionOp:
-        op = self._ops[self._next]
-        self._next += 1
-        return op
-
-
-class SessionGenerator:
-    """Generates login-session operation streams for one virtual user.
-
-    Determinism contract (load-bearing for :mod:`repro.fleet`): all of a
-    user's randomness comes from ``streams.fork(f"user-{user_id}")``, a
-    family derived from the *root* seed and the user id alone.  A user's
-    operation stream is therefore identical no matter which other users
-    run alongside it or which worker process it runs in — this is what
-    makes sharded fleet runs aggregate bit-for-bit to the single-process
-    result.
-    """
-
-    def __init__(
-        self,
-        user_type: UserTypeSpec,
-        layout: FileSystemLayout,
-        streams: RandomStreams,
-        user_id: int,
-        access_pattern: str = "sequential",
-        phase_model: PhaseModel | None = None,
-    ):
-        if access_pattern not in ("sequential", "random"):
-            raise ValueError(
-                f"access_pattern must be sequential|random, got "
-                f"{access_pattern!r}"
-            )
-        self.user_type = user_type
-        self.layout = layout
-        self.user_id = user_id
-        self.access_pattern = access_pattern
-        self.phase_model = phase_model
-        base = streams.fork(f"user-{user_id}")
-        self._rng_select = base.get("select")
-        self._rng_usage = base.get("usage")
-        self._rng_access = base.get("access-size")
-        self._rng_think = base.get("think")
-        self._plan_counter = 0
-
-    # -- sampling helpers --------------------------------------------------------
-
-    def _sample_count(self, usage: UsageSpec) -> int:
-        return max(1, int(round(float(usage.file_count.sample(self._rng_usage)))))
-
-    def _sample_access_budget(self, usage: UsageSpec, file_size: int) -> int:
-        ratio = max(0.0, float(usage.access_per_byte.sample(self._rng_usage)))
-        return int(round(ratio * file_size))
-
-    def _sample_chunk(self, remaining: int) -> int:
-        raw = float(self.user_type.access_size.sample(self._rng_access))
-        return max(1, min(int(round(raw)), remaining))
-
-    def _sample_think_us(self) -> int:
-        raw = max(0.0, float(self.user_type.think_time.sample(self._rng_think)))
-        if self.phase_model is not None:
-            raw *= self.phase_model.multiplier(self._rng_think)
-        return int(round(raw))
-
-    # -- per-category plan construction ------------------------------------------
-
-    def _data_ops(self, plan_id: int, budget: int, file_size: int,
-                  write_fraction: float,
-                  category_key: str | None = None) -> list[SessionOp]:
-        """Chunked read/write ops consuming ``budget`` bytes of a file.
-
-        Sequential mode walks the file, wrapping to offset 0 at EOF (the
-        thesis models sequential access only); random mode seeks to a
-        uniform offset before every chunk.
-        """
-        ops: list[SessionOp] = []
-        if budget <= 0 or file_size <= 0:
-            return ops
-        position = 0
-        remaining = budget
-        while remaining > 0:
-            if self.access_pattern == "random":
-                position = int(self._rng_access.integers(0, file_size))
-                ops.append(SessionOp("lseek", plan_id=plan_id, size=position,
-                                     category_key=category_key))
-            elif position >= file_size:
-                position = 0
-                ops.append(SessionOp("lseek", plan_id=plan_id, size=0,
-                                     category_key=category_key))
-            chunk = self._sample_chunk(min(remaining, file_size - position
-                                           if self.access_pattern == "sequential"
-                                           else remaining))
-            chunk = min(chunk, file_size - position)
-            if chunk <= 0:
-                position = 0
-                continue
-            is_write = self._rng_usage.random() < write_fraction
-            ops.append(
-                SessionOp(
-                    "write" if is_write else "read",
-                    plan_id=plan_id,
-                    size=chunk,
-                    category_key=category_key,
-                )
-            )
-            position += chunk
-            remaining -= chunk
-        return ops
-
-    def _write_out_ops(self, plan_id: int, target_size: int,
-                       category_key: str | None = None) -> list[SessionOp]:
-        """Sequential writes creating ``target_size`` bytes of fresh file."""
-        ops: list[SessionOp] = []
-        written = 0
-        while written < target_size:
-            chunk = self._sample_chunk(target_size - written)
-            ops.append(SessionOp("write", plan_id=plan_id, size=chunk,
-                                 category_key=category_key))
-            written += chunk
-        return ops
-
-    def _plan_for_existing(self, usage: UsageSpec, path: str,
-                           file_size: int) -> _FilePlan:
-        """RDONLY / RD-WRT plan over a file the FSC created."""
-        category = usage.category
-        plan_id = self._next_plan_id()
-        budget = self._sample_access_budget(usage, file_size)
-        write_fraction = 0.5 if category.use is UseType.RD_WRT else 0.0
-        mode = OpenFlags.RDWR if category.writes else OpenFlags.RDONLY
-        ops = [
-            SessionOp("open", plan_id=plan_id, path=path,
-                      category_key=category.key, size=file_size, flags=mode)
-        ]
-        ops.extend(self._data_ops(plan_id, budget, file_size, write_fraction,
-                                  category_key=category.key))
-        ops.append(SessionOp("close", plan_id=plan_id, path=path,
-                             category_key=category.key))
-        return _FilePlan(plan_id, ops)
-
-    def _plan_for_new(self, usage: UsageSpec, path: str,
-                      temporary: bool) -> _FilePlan:
-        """NEW / TEMP plan: create, write out, (re-read and unlink)."""
-        category = usage.category
-        plan_id = self._next_plan_id()
-        target_size = max(
-            1, int(round(float(usage.file_size.sample(self._rng_usage))))
-        )
-        flags = OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC
-        ops = [
-            SessionOp("creat", plan_id=plan_id, path=path,
-                      category_key=category.key, size=target_size,
-                      flags=flags)
-        ]
-        ops.extend(self._write_out_ops(plan_id, target_size,
-                                       category_key=category.key))
-        # Spend the rest of the category's access budget re-reading the
-        # fresh file: Table 5.2 gives NEW files 2.36 accesses per byte and
-        # TEMP files 2.00, i.e. well beyond the single write-out pass.
-        budget = self._sample_access_budget(usage, target_size)
-        read_budget = max(0, budget - target_size)
-        if read_budget > 0:
-            ops.append(SessionOp("lseek", plan_id=plan_id, size=0,
-                                 category_key=category.key))
-            ops.extend(
-                self._data_ops(plan_id, read_budget, target_size, 0.0,
-                               category_key=category.key)
-            )
-        ops.append(SessionOp("close", plan_id=plan_id, path=path,
-                             category_key=category.key))
-        if temporary:
-            ops.append(SessionOp("unlink", path=path,
-                                 category_key=category.key))
-        return _FilePlan(plan_id, ops)
-
-    def _plan_for_directory(self, usage: UsageSpec, path: str,
-                            dir_size: int) -> _FilePlan:
-        """DIR plan: stat once, then one readdir per whole-directory pass."""
-        category = usage.category
-        plan_id = self._next_plan_id()
-        ratio = max(0.0, float(usage.access_per_byte.sample(self._rng_usage)))
-        passes = max(1, int(round(ratio)))
-        ops = [SessionOp("stat", path=path, category_key=category.key,
-                         plan_id=plan_id, size=dir_size)]
-        for _ in range(passes):
-            ops.append(SessionOp("listdir", path=path,
-                                 category_key=category.key, size=dir_size))
-        return _FilePlan(plan_id, ops)
-
-    def _next_plan_id(self) -> int:
-        self._plan_counter += 1
-        return self._plan_counter
-
-    # -- session assembly ------------------------------------------------------------
-
-    def _build_plans(self, session_id: int) -> list[_FilePlan]:
-        plans: list[_FilePlan] = []
-        for usage in self.user_type.usage:
-            if self._rng_select.random() >= usage.fraction_of_users:
-                continue
-            category = usage.category
-            count = self._sample_count(usage)
-            if category.creates_files:
-                temporary = category.use is UseType.TEMP
-                home = self.layout.user_home(self.user_id)
-                prefix = "tmp" if temporary else "new"
-                for k in range(count):
-                    path = (
-                        f"{home}/{prefix}-s{session_id:04d}-"
-                        f"p{self._plan_counter:05d}-{k}"
-                    )
-                    plans.append(self._plan_for_new(usage, path, temporary))
-                continue
-            pool = self.layout.files_for(category, self.user_id)
-            if not pool:
-                continue
-            chosen_idx = self._rng_select.choice(
-                len(pool), size=min(count, len(pool)), replace=False
-            )
-            for idx in np.atleast_1d(chosen_idx):
-                record = pool[int(idx)]
-                if category.is_directory:
-                    plans.append(
-                        self._plan_for_directory(usage, record.path,
-                                                 record.size)
-                    )
-                else:
-                    plans.append(
-                        self._plan_for_existing(usage, record.path,
-                                                record.size)
-                    )
-        return plans
-
-    def generate_session(self, session_id: int) -> Iterator[SessionOp]:
-        """Yield the operation stream of one login session.
-
-        File plans are interleaved by independent random selection among
-        the currently open files (the thesis's independence assumption),
-        with at most ``user_type.max_open_files`` concurrently open.
-        A think-time operation follows every file operation.
-        """
-        pending = self._build_plans(session_id)
-        active: list[_FilePlan] = []
-        max_open = self.user_type.max_open_files
-        while pending or active:
-            while pending and len(active) < max_open:
-                active.append(pending.pop(0))
-            if not active:
-                break
-            slot = int(self._rng_select.integers(0, len(active)))
-            plan = active[slot]
-            op = plan.pop()
-            yield op
-            if plan.exhausted:
-                active.pop(slot)
-            think = self._sample_think_us()
-            yield SessionOp("think", size=think)
-
-
-# ---------------------------------------------------------------------------
-# Executors
-# ---------------------------------------------------------------------------
-
-
-class _SessionAccounting:
-    """Accumulates the per-session measures the analyzer consumes."""
-
-    def __init__(self, user_id: int, user_type: str, session_id: int,
-                 start_us: float):
-        self.user_id = user_id
-        self.user_type = user_type
-        self.session_id = session_id
-        self.start_us = start_us
-        self.file_sizes: dict[str, int] = {}
-        self.bytes_accessed = 0
-        self.categories: set[str] = set()
-
-    def saw_file(self, path: str, size: int, category_key: str | None) -> None:
-        # A session-created file's size grows as it is written; keep the max.
-        self.file_sizes[path] = max(self.file_sizes.get(path, 0), size)
-        if category_key:
-            self.categories.add(category_key)
-
-    def accessed(self, nbytes: int) -> None:
-        self.bytes_accessed += nbytes
-
-    def finish(self, end_us: float) -> SessionRecord:
-        return SessionRecord(
-            user_id=self.user_id,
-            user_type=self.user_type,
-            session_id=self.session_id,
-            start_us=self.start_us,
-            end_us=end_us,
-            files_referenced=len(self.file_sizes),
-            bytes_accessed=self.bytes_accessed,
-            file_bytes_referenced=sum(self.file_sizes.values()),
-            categories=tuple(sorted(self.categories)),
-        )
 
 
 _WRITE_PAYLOAD = bytes(64 * 1024)
@@ -441,8 +69,8 @@ def simulated_user_process(
     user_id = generator.user_id
     type_name = generator.user_type.name
     for session_id in range(sessions):
-        accounting = _SessionAccounting(user_id, type_name, session_id,
-                                        engine.now)
+        accounting = SessionAccounting(user_id, type_name, session_id,
+                                       engine.now)
         fd_by_plan: dict[int, int] = {}
         path_by_plan: dict[int, str] = {}
         for op in generator.generate_session(session_id):
@@ -451,43 +79,34 @@ def simulated_user_process(
                     yield Delay(op.size)
                 continue
             started = engine.now
-            moved = op.size
+            observed = None
             if op.kind in ("open", "creat"):
                 # ``op.size`` is the file's size: the FSC-recorded size for
                 # opens, the target write-out size for creates.
                 fd = yield from client.open(op.path, op.flags)
                 fd_by_plan[op.plan_id] = fd
                 path_by_plan[op.plan_id] = op.path
-                accounting.saw_file(op.path, op.size, op.category_key)
-                moved = 0
             elif op.kind == "read":
                 data = yield from client.read(fd_by_plan[op.plan_id], op.size)
-                moved = len(data)
-                accounting.accessed(moved)
+                observed = len(data)
             elif op.kind == "write":
-                moved = yield from client.write(
+                observed = yield from client.write(
                     fd_by_plan[op.plan_id], _payload(op.size)
                 )
-                accounting.accessed(moved)
             elif op.kind == "lseek":
                 yield from client.lseek(fd_by_plan[op.plan_id], op.size,
                                         Whence.SET)
-                moved = 0
             elif op.kind == "close":
                 yield from client.close(fd_by_plan.pop(op.plan_id))
-                moved = 0
             elif op.kind == "unlink":
                 yield from client.unlink(op.path)
-                moved = 0
             elif op.kind == "stat":
                 yield from client.stat(op.path)
-                accounting.saw_file(op.path, op.size, op.category_key)
-                moved = 0
             elif op.kind == "listdir":
                 yield from client.listdir(op.path)
-                accounting.accessed(op.size)
             else:  # pragma: no cover - generator only emits known kinds
                 raise ValueError(f"unknown op kind {op.kind!r}")
+            moved = apply_op_effects(op, accounting, observed)
             log.record_op(
                 OpRecord(
                     user_id=user_id,
@@ -533,8 +152,8 @@ class RealRunner:
         generator = self.generator
         user_id = generator.user_id
         type_name = generator.user_type.name
-        accounting = _SessionAccounting(user_id, type_name, session_id,
-                                        self._now_us())
+        accounting = SessionAccounting(user_id, type_name, session_id,
+                                       self._now_us())
         fd_by_plan: dict[int, int] = {}
         path_by_plan: dict[int, str] = {}
         for op in generator.generate_session(session_id):
@@ -543,38 +162,30 @@ class RealRunner:
                     time.sleep(op.size / 1e6)
                 continue
             started = self._now_us()
-            moved = op.size
+            observed = None
             if op.kind in ("open", "creat"):
                 fd = self.fs.open(op.path, op.flags)
                 fd_by_plan[op.plan_id] = fd
                 path_by_plan[op.plan_id] = op.path
-                accounting.saw_file(op.path, op.size, op.category_key)
-                moved = 0
             elif op.kind == "read":
                 data = self.fs.read(fd_by_plan[op.plan_id], op.size)
-                moved = len(data)
-                accounting.accessed(moved)
+                observed = len(data)
             elif op.kind == "write":
-                moved = self.fs.write(fd_by_plan[op.plan_id], _payload(op.size))
-                accounting.accessed(moved)
+                observed = self.fs.write(fd_by_plan[op.plan_id],
+                                         _payload(op.size))
             elif op.kind == "lseek":
                 self.fs.lseek(fd_by_plan[op.plan_id], op.size, Whence.SET)
-                moved = 0
             elif op.kind == "close":
                 self.fs.close(fd_by_plan.pop(op.plan_id))
-                moved = 0
             elif op.kind == "unlink":
                 self.fs.unlink(op.path)
-                moved = 0
             elif op.kind == "stat":
                 self.fs.stat(op.path)
-                accounting.saw_file(op.path, op.size, op.category_key)
-                moved = 0
             elif op.kind == "listdir":
                 self.fs.listdir(op.path)
-                accounting.accessed(op.size)
             else:  # pragma: no cover
                 raise ValueError(f"unknown op kind {op.kind!r}")
+            moved = apply_op_effects(op, accounting, observed)
             self.log.record_op(
                 OpRecord(
                     user_id=user_id,

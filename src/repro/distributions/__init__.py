@@ -8,6 +8,7 @@ sampling, EM-based fitting, and reproducible named random streams.
 
 from .base import Distribution, DistributionError
 from .basic import Constant, Uniform
+from .batch import BatchSampler
 from .cdf_table import CdfTable, simpson_cdf
 from .empirical import EmpiricalDistribution, TabulatedCdf, TabulatedPdf
 from .exponential import PhaseTypeExponential, ShiftedExponential
@@ -31,6 +32,7 @@ __all__ = [
     "DistributionError",
     "Constant",
     "Uniform",
+    "BatchSampler",
     "CdfTable",
     "simpson_cdf",
     "EmpiricalDistribution",

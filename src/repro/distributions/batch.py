@@ -1,0 +1,88 @@
+"""Batched scalar sampling: vectorized blocks behind a scalar interface.
+
+The synthesis stage (:mod:`repro.core.synthesis`) consumes millions of
+scalar variates — chunk sizes, think times, per-category file counts.
+Calling ``Distribution.sample(rng)`` once per variate pays NumPy's
+per-call overhead once per variate; drawing blocks of N amortises that
+overhead N-fold.  :class:`BatchSampler` wraps any sampler exposing
+``sample(rng, size)`` (a :class:`~repro.distributions.base.Distribution`,
+a :class:`~repro.distributions.cdf_table.CdfTable`, or the GDS's
+``TableSampler``) and serves scalars out of a pre-drawn block, refilling
+with one vectorized call whenever the block runs dry.
+
+Every NumPy ``Generator`` method used by the distribution families fills
+its output *sequentially* from the underlying bit stream, so element
+``i`` of a ``sample(rng, size=N)`` draw equals the ``i``-th scalar
+``sample(rng)`` from an identically seeded generator.  Batching therefore
+changes the cost of a sampled sequence, never its values —
+``tests/distributions/test_batch.py`` pins that equivalence for every
+family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DistributionError
+from .basic import Constant
+
+__all__ = ["BatchSampler"]
+
+
+class BatchSampler:
+    """Serve scalar draws from pre-drawn vectorized blocks.
+
+    Parameters
+    ----------
+    dist:
+        Anything with ``sample(rng, size) -> ndarray`` semantics.
+        Point masses (:class:`~repro.distributions.basic.Constant`) are
+        short-circuited: they consume no random numbers either way, so
+        the sampler just returns the value without buffering.
+    rng:
+        The ``numpy.random.Generator`` this sampler owns.  Give every
+        batched quantity its *own* named stream (see
+        :class:`~repro.distributions.rng.RandomStreams`): block refills
+        consume the stream in bursts, so sharing one stream between a
+        batched and an unbatched consumer would interleave differently
+        than scalar draws.
+    block:
+        Variates per refill.  Size does not affect the drawn sequence,
+        only the amortisation; hot quantities (think times, chunk sizes)
+        want hundreds, once-per-session quantities are fine with tens.
+    """
+
+    __slots__ = ("_dist", "_rng", "_block", "_buffer", "_next", "_constant")
+
+    def __init__(self, dist, rng: np.random.Generator, block: int = 256):
+        if block < 1:
+            raise DistributionError(f"block must be >= 1, got {block}")
+        self._dist = dist
+        self._rng = rng
+        self._block = int(block)
+        self._buffer: np.ndarray | None = None
+        self._next = 0
+        self._constant = float(dist.value) if isinstance(dist, Constant) else None
+
+    def draw(self) -> float:
+        """Return the next scalar variate, refilling the block if needed."""
+        if self._constant is not None:
+            return self._constant
+        buffer = self._buffer
+        if buffer is None or self._next >= len(buffer):
+            buffer = np.asarray(
+                self._dist.sample(self._rng, size=self._block), dtype=float
+            )
+            self._buffer = buffer
+            self._next = 0
+        value = float(buffer[self._next])
+        self._next += 1
+        return value
+
+    @property
+    def block(self) -> int:
+        """Variates drawn per refill."""
+        return self._block
+
+    def __repr__(self) -> str:
+        return f"BatchSampler({self._dist!r}, block={self._block})"

@@ -129,6 +129,7 @@ class PhaseTypeExponential(Distribution):
                 f"weights must sum to 1 (within 1e-6), got {total!r}"
             )
         self.weights = self.weights / total
+        self._cum_weights = np.cumsum(self.weights)
         self._phases = [
             ShiftedExponential(s, o) for s, o in zip(self.scales, self.offsets)
         ]
@@ -162,9 +163,20 @@ class PhaseTypeExponential(Distribution):
         return ex2 - self.mean() ** 2
 
     def sample(self, rng: np.random.Generator, size: int | None = None):
+        # Per-element inverse transform: each variate consumes exactly two
+        # uniforms in row-major order (phase pick, then the phase's
+        # exponential quantile), so element i of a size-N draw equals the
+        # i-th scalar draw — the property batched sampling relies on.
         n = 1 if size is None else int(size)
-        phase_idx = rng.choice(self.n_phases, size=n, p=self.weights)
-        draws = rng.exponential(self.scales[phase_idx]) + self.offsets[phase_idx]
+        u = rng.random((n, 2))
+        phase_idx = np.minimum(
+            np.searchsorted(self._cum_weights, u[:, 0], side="right"),
+            self.n_phases - 1,
+        )
+        draws = (
+            -self.scales[phase_idx] * np.log1p(-u[:, 1])
+            + self.offsets[phase_idx]
+        )
         if size is None:
             return float(draws[0])
         return draws

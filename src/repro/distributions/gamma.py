@@ -137,6 +137,7 @@ class MultiStageGamma(Distribution):
                 f"weights must sum to 1 (within 1e-6), got {total!r}"
             )
         self.weights = self.weights / total
+        self._cum_weights = np.cumsum(self.weights)
         self._stages = [
             ShiftedGamma(a, s, o)
             for a, s, o in zip(self.shapes, self.scales, self.offsets)
@@ -172,10 +173,20 @@ class MultiStageGamma(Distribution):
         return ex2 - self.mean() ** 2
 
     def sample(self, rng: np.random.Generator, size: int | None = None):
+        # Per-element inverse transform: each variate consumes exactly two
+        # uniforms in row-major order (stage pick, then the stage's gamma
+        # quantile via the inverse regularised incomplete gamma), so
+        # element i of a size-N draw equals the i-th scalar draw — the
+        # property batched sampling relies on.
         n = 1 if size is None else int(size)
-        stage_idx = rng.choice(self.n_stages, size=n, p=self.weights)
+        u = rng.random((n, 2))
+        stage_idx = np.minimum(
+            np.searchsorted(self._cum_weights, u[:, 0], side="right"),
+            self.n_stages - 1,
+        )
         draws = (
-            rng.gamma(self.shapes[stage_idx], self.scales[stage_idx])
+            special.gammaincinv(self.shapes[stage_idx], u[:, 1])
+            * self.scales[stage_idx]
             + self.offsets[stage_idx]
         )
         if size is None:

@@ -6,7 +6,7 @@ back:
 * **Workload content** — how many sessions ran, which system calls were
   issued, how many bytes moved, per category and per user type.  These
   are integer counts determined solely by ``(root seed, user id)`` (see
-  :class:`repro.core.usim.SessionGenerator`'s determinism contract), so
+  :class:`repro.core.synthesis.SessionGenerator`'s determinism contract), so
   summing them across shards reproduces the single-process totals
   **bit-for-bit** for any shard count.
 * **Timing** — response times and simulated duration.  Each shard is an

@@ -33,17 +33,17 @@ import os
 import time
 from dataclasses import dataclass, field
 
-from ..core.generator import WorkloadGenerator
+from ..core.generator import RUN_BACKENDS, WorkloadGenerator
 from ..core.oplog import UsageLog
 from ..core.spec import SpecError, WorkloadSpec
-from ..core.usim import PhaseModel
+from ..core.synthesis import PhaseModel
 from ..sim import RunningStats
 from .merge import ShardAccumulator, WorkloadTally
 from .sharding import ShardPlan, plan_shards
 
 __all__ = ["FleetConfig", "ShardOutcome", "FleetResult", "run_fleet"]
 
-_BACKENDS = ("nfs", "local", "afs")
+_BACKENDS = RUN_BACKENDS
 
 
 @dataclass(frozen=True)

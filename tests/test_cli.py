@@ -39,6 +39,14 @@ class TestCommands:
         assert "Run summary" in out
         assert "mean response" in out
 
+    def test_simulate_fast_backend(self, capsys):
+        code = main(["simulate", "--users", "1", "--sessions", "1",
+                     "--files", "80", "--backend", "fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Run summary" in out
+        assert "fast" in out
+
     def test_real_and_mkfs(self, tmp_path, capsys):
         code = main(["mkfs", str(tmp_path / "fsroot"), "--files", "60",
                      "--users", "1"])
@@ -86,6 +94,27 @@ class TestCommands:
         assert code == 0
         assert "Aggregate workload statistics (shard-invariant)" in out
         assert "Timing (topology-dependent)" in out
+
+    def test_fleet_run_fast_backend_matches_des_aggregate(self, capsys):
+        des = main(["fleet", "run", "--scenario", "mixed-campus",
+                    "--users", "4", "--shards", "2", "--workers", "1",
+                    "--seed", "7", "--files", "80"])
+        des_out = capsys.readouterr().out
+        fast = main(["fleet", "run", "--scenario", "mixed-campus",
+                     "--users", "4", "--shards", "2", "--workers", "1",
+                     "--seed", "7", "--files", "80", "--backend", "fast"])
+        fast_out = capsys.readouterr().out
+        assert des == fast == 0
+
+        def aggregate_block(text):
+            lines = text.splitlines()
+            start = next(i for i, line in enumerate(lines)
+                         if "Aggregate workload statistics" in line)
+            end = next(i for i, line in enumerate(lines)
+                       if "Per-shard" in line)
+            return lines[start:end]
+
+        assert aggregate_block(des_out) == aggregate_block(fast_out)
 
     def test_fleet_run_writes_oplog(self, tmp_path, capsys):
         target = tmp_path / "fleet.log"
