@@ -22,7 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import WorkloadGenerator, paper_workload_spec
+from .core import RUN_BACKENDS, WorkloadGenerator, paper_workload_spec
 from .fleet import FleetConfig, run_fleet
 from .harness import (
     fleet_report,
@@ -90,12 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="run a simulated experiment")
     common(sim)
-    sim.add_argument("--backend", choices=("nfs", "local", "afs", "fast"),
+    sim.add_argument("--backend", choices=RUN_BACKENDS,
                      default="nfs",
                      help="execution backend: nfs/local/afs run the DES "
                           "(full queueing fidelity); fast replays the "
                           "identical op stream with analytic service "
-                          "times, no engine")
+                          "times, no engine; fast-columnar does the same "
+                          "through vectorized array batches")
 
     real = sub.add_parser("real", help="drive a real directory")
     common(real)
@@ -137,11 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--files", type=int, default=None,
                            help="FSC file count (default: scenario-scaled)")
     fleet_run.add_argument("--backend",
-                           choices=("nfs", "local", "afs", "fast"),
+                           choices=RUN_BACKENDS,
                            default="nfs",
-                           help="DES backend, or `fast` for engine-free "
-                                "analytic replay (same op stream, several "
-                                "times the ops/s)")
+                           help="DES backend, or `fast`/`fast-columnar` "
+                                "for engine-free analytic replay (same op "
+                                "stream, many times the ops/s)")
     fleet_run.add_argument("--oplog", metavar="PATH", default=None,
                            help="also collect and write the merged usage log")
 
@@ -212,9 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: match the source)")
     t_val.add_argument("--shards", type=int, default=1,
                        help="regenerate via the fleet layer when > 1")
-    t_val.add_argument("--backend", choices=("nfs", "local", "afs", "fast"),
+    t_val.add_argument("--backend", choices=RUN_BACKENDS,
                        default="nfs",
-                       help="regeneration backend; `fast` skips the DES "
+                       help="regeneration backend; `fast`/`fast-columnar` "
+                            "skip the DES "
                             "(content-identical, so fidelity measures "
                             "other than think time are unaffected)")
     t_val.add_argument("--threshold", type=float, default=None,

@@ -22,6 +22,7 @@ from .datasets import (
 )
 from .execution import (
     AnalyticServiceModel,
+    ColumnarReplayBackend,
     DesBackend,
     ExecutionBackend,
     FastReplayBackend,
@@ -30,6 +31,7 @@ from .execution import (
 from .fsc import CreatedFile, FileSystemCreator, FileSystemLayout
 from .gds import DistributionSpecifier
 from .generator import (
+    FAST_BACKENDS,
     RUN_BACKENDS,
     RunResult,
     SIM_BACKENDS,
@@ -37,6 +39,7 @@ from .generator import (
     TableSampler,
     WorkloadGenerator,
 )
+from .opbatch import OP_KIND_CODES, OP_KIND_NAMES, OpBatch, StringTable
 from .oplog import OpRecord, OpSink, SessionAccounting, SessionRecord, UsageLog
 from .plotting import render_histogram, render_pdf, render_series, sparkline
 from .specjson import (
@@ -85,12 +88,18 @@ __all__ = [
     "FileSystemLayout",
     "DistributionSpecifier",
     "AnalyticServiceModel",
+    "ColumnarReplayBackend",
     "DesBackend",
     "ExecutionBackend",
     "FastReplayBackend",
     "UserSessions",
+    "FAST_BACKENDS",
     "RUN_BACKENDS",
     "SIM_BACKENDS",
+    "OP_KIND_CODES",
+    "OP_KIND_NAMES",
+    "OpBatch",
+    "StringTable",
     "RunResult",
     "SimulationHandle",
     "TableSampler",

@@ -161,16 +161,20 @@ class FileSystemCreator:
     # -- creation -------------------------------------------------------------------
 
     def create(self, fs: FileSystemAPI,
-               materialize_users: "set[int] | None" = None) -> FileSystemLayout:
+               materialize_users: "set[int] | None" = None,
+               materialize_shared: bool = True) -> FileSystemLayout:
         """Materialise the new file system on ``fs`` and return the manifest.
 
         ``materialize_users`` restricts which *per-user* homes and files
         are physically created: shared (``/system``, ``/notes``) files are
-        always built, but USER-owned files are only written for the given
-        user ids.  The returned manifest always covers the **whole**
-        population, and every size is sampled in the same order regardless
-        — so a shard that materialises only its own users still computes a
-        layout bit-identical to the full build.  This is what lets a fleet
+        built whenever ``materialize_shared`` is true (the default), but
+        USER-owned files are only written for the given user ids.  The
+        engine-free fast backends pass ``materialize_shared=False`` as
+        well — they never read the store, only the manifest.  The
+        returned manifest always covers the **whole** population, and
+        every size is sampled in the same order regardless — so a shard
+        that materialises only its own users still computes a layout
+        bit-identical to the full build.  This is what lets a fleet
         shard hold ~1/K of the file bytes while simulating 1/K of the
         users (see :mod:`repro.fleet`).
         """
@@ -187,16 +191,31 @@ class FileSystemCreator:
             category = cat_spec.category
             sampler = self.size_samplers[category.key]
             count = counts[category.key]
+            if count == 0:
+                continue
+            # One vectorized draw per category: NumPy fills sequentially
+            # from the bit stream, so the sizes equal per-file scalar
+            # draws — and the FSC stream stays aligned across different
+            # materialisation subsets, exactly as before.
+            raw = np.asarray(sampler.sample(rng, size=count), dtype=float)
+            if not np.isfinite(raw).all():
+                # Match the old scalar path, which raised on int(NaN):
+                # a non-finite file size is a broken size distribution,
+                # not something to clamp silently into the manifest.
+                raise ValueError(
+                    f"file-size sampler for {category.key!r} produced "
+                    "non-finite draws"
+                )
+            sizes = np.maximum(np.rint(raw), 0.0).astype(np.int64).tolist()
             for index in range(count):
                 owner_user = self._owner_for(category, index)
                 path = self._path_for(layout, category, owner_user, index)
-                # Always draw the size so the FSC stream stays aligned
-                # across different materialisation subsets.
-                size = max(0, int(round(float(sampler.sample(rng)))))
+                size = sizes[index]
                 materialize = (
-                    materialize_users is None
-                    or owner_user is None
-                    or owner_user in materialize_users
+                    (materialize_users is None
+                     or owner_user in materialize_users)
+                    if owner_user is not None
+                    else materialize_shared
                 )
                 if materialize:
                     if category.is_directory:

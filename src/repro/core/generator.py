@@ -41,7 +41,13 @@ from ..nfs import (
 from ..sim import Engine
 from ..vfs import FileSystemAPI, LocalFileSystem, MemoryFileSystem
 from .analyzer import UsageAnalyzer
-from .execution import DesBackend, ExecutionBackend, FastReplayBackend, UserSessions
+from .execution import (
+    ColumnarReplayBackend,
+    DesBackend,
+    ExecutionBackend,
+    FastReplayBackend,
+    UserSessions,
+)
 from .fsc import FileSystemCreator, FileSystemLayout
 from .gds import DistributionSpecifier
 from .oplog import OpSink, UsageLog
@@ -55,15 +61,20 @@ __all__ = [
     "SimulationHandle",
     "TableSampler",
     "SIM_BACKENDS",
+    "FAST_BACKENDS",
     "RUN_BACKENDS",
 ]
 
 SIM_BACKENDS = ("nfs", "local", "afs")
 """Discrete-event simulation backends (full queueing fidelity)."""
 
-RUN_BACKENDS = SIM_BACKENDS + ("fast",)
+FAST_BACKENDS = ("fast", "fast-columnar")
+"""Engine-free analytic replays: scalar per-op, and columnar
+(array-native batches through the same service model)."""
+
+RUN_BACKENDS = SIM_BACKENDS + FAST_BACKENDS
 """Everything :meth:`WorkloadGenerator.run_simulated` accepts: the DES
-backends plus the engine-free analytic ``fast`` replay."""
+backends plus the engine-free analytic replays."""
 
 
 class TableSampler:
@@ -199,13 +210,15 @@ class WorkloadGenerator:
     def create_file_system(
         self, fs: FileSystemAPI,
         materialize_users: "set[int] | None" = None,
+        materialize_shared: bool = True,
     ) -> FileSystemLayout:
         """Run the FSC against ``fs`` using GDS file-size tables.
 
-        ``materialize_users`` is forwarded to
+        ``materialize_users`` / ``materialize_shared`` are forwarded to
         :meth:`~repro.core.fsc.FileSystemCreator.create`: the manifest
-        always covers the whole population, but per-user files are only
-        physically created for the given users.
+        always covers the whole population, but files are only
+        physically created for the given users (and, for the engine-free
+        backends, not at all).
         """
         samplers = {
             cat_spec.category.key: self._as_sampler(
@@ -215,7 +228,8 @@ class WorkloadGenerator:
         creator = FileSystemCreator(
             self.spec, streams=self.streams, size_samplers=samplers
         )
-        return creator.create(fs, materialize_users=materialize_users)
+        return creator.create(fs, materialize_users=materialize_users,
+                              materialize_shared=materialize_shared)
 
     # -- USIM, simulated ---------------------------------------------------------------
 
@@ -342,15 +356,18 @@ class WorkloadGenerator:
         assignment, selected = self.plan_users(user_ids)
         handle = None
         executor: ExecutionBackend
-        if backend == "fast":
-            # No store is ever read: materialise nothing per-user, just
+        if backend in FAST_BACKENDS:
+            # No store is ever read: materialise nothing at all, just
             # sample the manifest (sizes are drawn identically either
             # way, so the layout — and hence the op stream — matches the
             # DES run bit for bit).
             layout = self.create_file_system(
-                MemoryFileSystem(), materialize_users=set()
+                MemoryFileSystem(), materialize_users=set(),
+                materialize_shared=False,
             )
-            executor = FastReplayBackend(timing)
+            executor = (ColumnarReplayBackend(timing)
+                        if backend == "fast-columnar"
+                        else FastReplayBackend(timing))
         else:
             handle = self.build_simulation(backend, timing)
             layout = self.create_file_system(

@@ -16,8 +16,19 @@ constant memory.
 from __future__ import annotations
 
 import io
+import itertools
+import re
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Protocol, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    Iterator,
+    Protocol,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - opbatch imports OpRecord from here
+    from .opbatch import OpBatch
 
 __all__ = [
     "OpRecord",
@@ -39,8 +50,17 @@ _SESSION_FIELDS = 9
 _ESCAPES = {"\\": "\\\\", "\t": "\\t", "\n": "\\n", "\r": "\\r"}
 _UNESCAPES = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r", ",": ","}
 
+# Almost every field is a plain path or type name with nothing to
+# escape; one compiled-regex scan decides that and skips the five
+# str.replace passes on the hot serialisation path.
+_NEEDS_ESCAPE = re.compile(r"[\\\t\n\r]")
+_NEEDS_ESCAPE_COMMA = re.compile(r"[\\\t\n\r,]")
+
 
 def _escape(value: str, comma: bool = False) -> str:
+    pattern = _NEEDS_ESCAPE_COMMA if comma else _NEEDS_ESCAPE
+    if pattern.search(value) is None:
+        return value
     for raw, escaped in _ESCAPES.items():
         value = value.replace(raw, escaped)
     if comma:
@@ -288,6 +308,17 @@ class OpSink(Protocol):
     :class:`UsageLog` is the archival implementation;
     :class:`repro.fleet.merge.ShardAccumulator` is the constant-memory
     one used for large fleet runs.
+
+    Sinks *may* additionally implement ``record_batch(batch: OpBatch)``
+    to fold whole columnar batches: the columnar backend probes for it
+    with ``getattr`` and otherwise falls back to per-record
+    ``record_op`` calls through the
+    :meth:`~repro.core.opbatch.OpBatch.to_records` bridge, so a sink
+    that only implements the two scalar methods keeps working — it just
+    forgoes the vectorized fold.  (``record_batch`` is deliberately not
+    part of the runtime-checkable protocol surface: listing it would
+    make ``isinstance(sink, OpSink)`` reject exactly the minimal sinks
+    the fallback exists for.)
     """
 
     def record_op(self, record: OpRecord) -> None: ...
@@ -309,6 +340,10 @@ class UsageLog:
     def record_session(self, record: SessionRecord) -> None:
         """Append a session summary."""
         self.sessions.append(record)
+
+    def record_batch(self, batch: "OpBatch") -> None:
+        """Append a columnar batch's rows as operation records."""
+        self.operations.extend(batch.to_records())
 
     def extend(self, other: "UsageLog") -> None:
         """Merge another log into this one."""
@@ -358,12 +393,23 @@ class UsageLog:
 
     # -- persistence -----------------------------------------------------------
 
+    _DUMP_CHUNK_LINES = 4096
+
     def dump(self, stream: io.TextIOBase) -> None:
-        """Write the log to a text stream."""
-        for session in self.sessions:
-            stream.write(session.to_line() + "\n")
-        for op in self.operations:
-            stream.write(op.to_line() + "\n")
+        """Write the log to a text stream.
+
+        Lines are joined into multi-kilobyte chunks before writing: one
+        ``write`` call per ~4k records instead of one per record keeps
+        million-operation dumps out of the per-call overhead regime.
+        """
+        chunk: list[str] = []
+        for record in itertools.chain(self.sessions, self.operations):
+            chunk.append(record.to_line())
+            if len(chunk) >= self._DUMP_CHUNK_LINES:
+                stream.write("\n".join(chunk) + "\n")
+                chunk.clear()
+        if chunk:
+            stream.write("\n".join(chunk) + "\n")
 
     def dumps(self) -> str:
         """Serialise to a string."""

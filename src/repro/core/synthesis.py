@@ -24,6 +24,14 @@ Sampling is *batched*: every per-quantity random stream is wrapped in a
 variates with one vectorized call instead of paying NumPy's scalar-call
 overhead per operation.
 
+Sessions come out in either of two byte-identical representations:
+:meth:`SessionGenerator.generate_session` yields scalar
+:class:`SessionOp` objects, and
+:meth:`SessionGenerator.generate_session_batch` builds the same stream
+as one columnar :class:`~repro.core.opbatch.OpBatch` — the per-chunk
+loops replaced by ``searchsorted`` cuts over pre-drawn blocks — for the
+array-native fast backend.
+
 Extensions beyond the thesis's minimum (its section 6.2 future work):
 
 * ``access_pattern="random"`` switches the per-file access from purely
@@ -36,12 +44,29 @@ Extensions beyond the thesis's minimum (its section 6.2 future work):
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
+
+import numpy as np
 
 from ..distributions import BatchSampler, RandomStreams, Uniform
 from ..vfs import OpenFlags
 from .fsc import FileSystemLayout
+from .opbatch import (
+    KIND_CLOSE,
+    KIND_CREAT,
+    KIND_LISTDIR,
+    KIND_LSEEK,
+    KIND_OPEN,
+    KIND_READ,
+    KIND_STAT,
+    KIND_THINK,
+    KIND_UNLINK,
+    KIND_WRITE,
+    OpBatch,
+    StringTable,
+)
 from .spec import UsageSpec, UserTypeSpec, UseType
 
 __all__ = [
@@ -49,6 +74,37 @@ __all__ = [
     "PhaseModel",
     "SessionGenerator",
 ]
+
+# int64 cannot hold every Python int a pathological (but finite) draw
+# could produce; the columnar path saturates instead of wrapping.  Real
+# specs live many orders of magnitude below this.
+_INT64_SATURATE = float(2**63 - 1024)
+
+_EMPTY_I8 = np.empty(0, dtype=np.int8)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+# Max chunk variates sanitised per cumsum pass (see _chunk_run).
+_CHUNK_SLAB = 64
+
+# Reusable single-row column segments (np.concatenate copies, so sharing
+# these across plans is safe) and the creat-mode flag value.
+_OPEN_ROW = np.array([KIND_OPEN], dtype=np.int8)
+_CREAT_ROW = np.array([KIND_CREAT], dtype=np.int8)
+_LSEEK_ROW = np.array([KIND_LSEEK], dtype=np.int8)
+_CLOSE_ROW = np.array([KIND_CLOSE], dtype=np.int8)
+_UNLINK_ROW = np.array([KIND_UNLINK], dtype=np.int8)
+_ZERO_I64 = np.zeros(1, dtype=np.int64)
+_CREAT_FLAGS = int(OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC)
+
+# Constant kind runs: chunk segments append read-only *views* of these
+# instead of allocating a filled array per segment (np.concatenate
+# copies, so sharing is safe).  Sized to cover any single segment: a
+# segment never exceeds the chunk sampler's block (or slab) size.
+_RUN_MAX = 8192
+_READ_RUN = np.full(_RUN_MAX, KIND_READ, dtype=np.int8)
+_WRITE_RUN = np.full(_RUN_MAX, KIND_WRITE, dtype=np.int8)
+_LSEEK_READ_PAIRS = np.tile(
+    np.array([KIND_LSEEK, KIND_READ], dtype=np.int8), _RUN_MAX)
 
 _UNIT = Uniform(0.0, 1.0)
 
@@ -106,6 +162,25 @@ class PhaseModel:
         """Advance the chain one step drawing from ``rng`` directly."""
         return self.step(float(rng.random()))
 
+    def step_many(self, us: np.ndarray) -> np.ndarray:
+        """Advance the chain once per element of ``us``; return the
+        multiplier sequence.  Equivalent to ``[self.step(u) for u in us]``
+        (the chain is a sequential recurrence, so this stays a loop — but
+        one over a pre-drawn array, matching the columnar think path)."""
+        out = np.empty(len(us), dtype=np.float64)
+        cpu = self.state == "cpu"
+        p_enter, p_exit = self.p_enter_cpu, self.p_exit_cpu
+        multiplier = self.cpu_multiplier
+        for i, u in enumerate(us.tolist()):
+            if cpu:
+                if u < p_exit:
+                    cpu = False
+            elif u < p_enter:
+                cpu = True
+            out[i] = multiplier if cpu else 1.0
+        self.state = "cpu" if cpu else "io"
+        return out
+
 
 class _FilePlan:
     """A per-file script: open → data ops → close (+unlink for TEMP)."""
@@ -135,6 +210,126 @@ class _UsageSamplers:
     file_size: BatchSampler
 
 
+class _ChunkBlock(BatchSampler):
+    """Chunk-size sampler whose blocks carry a sanitised prefix-sum cache.
+
+    Every refilled block is sanitised once (finite, rounded, >= 1 — the
+    vectorized :meth:`SessionGenerator._sample_chunk` clamp) and
+    prefix-summed, so cutting a segment of chunks to a byte boundary is
+    a single ``searchsorted`` over the cached sums instead of a fresh
+    sanitise + cumsum per segment.  ``draw()`` still serves the *raw*
+    variates, keeping the scalar path untouched.
+    """
+
+    __slots__ = ("san", "cum0")
+
+    def __init__(self, dist, rng, block: int = 512):
+        super().__init__(dist, rng, block=block)
+        self.san: np.ndarray | None = None
+        self.cum0: np.ndarray | None = None
+
+    def _refill(self) -> np.ndarray:
+        buffer = super()._refill()
+        san = np.maximum(
+            np.where(np.isfinite(buffer), np.rint(buffer), 1.0), 1.0
+        )
+        # int64 saturation: keeps the astype in run() defined even for
+        # absurd finite draws (the byte boundary always cuts first).
+        np.minimum(san, _INT64_SATURATE, out=san)
+        self.san = san
+        cum0 = np.empty(len(san) + 1, dtype=np.float64)
+        cum0[0] = 0.0
+        np.cumsum(san, out=cum0[1:])
+        self.cum0 = cum0
+        return buffer
+
+    def san_view(self) -> np.ndarray:
+        """Sanitised not-yet-consumed variates (refills when spent)."""
+        buffer = self._buffer
+        if buffer is None or self._next >= len(buffer):
+            self._refill()
+        return self.san[self._next:]
+
+    def run(self, boundary: int) -> tuple[np.ndarray, int, bool]:
+        """Consume chunks up to ``boundary`` bytes from the cached block.
+
+        Returns ``(chunks, advanced, crossed)``; the crossing chunk is
+        cut to land exactly on the boundary, as the scalar per-draw
+        clamp does.  May return fewer bytes than ``boundary`` when the
+        block runs out — the caller loops, and the next call refills.
+        """
+        buffer = self._buffer
+        if buffer is None or self._next >= len(buffer):
+            self._refill()
+        start = self._next
+        cum0 = self.cum0
+        base = cum0[start]
+        # Element j's running total is cum0[j+1]; the crossing element is
+        # the first whose total reaches base + boundary.
+        cut = int(cum0.searchsorted(base + boundary, side="left")) - 1
+        limit = len(self.san)
+        if cut >= limit:
+            chunks = self.san[start:].astype(np.int64)
+            advanced = int(cum0[limit] - base)
+            self._next = limit
+            return chunks, advanced, False
+        chunks = self.san[start:cut + 1].astype(np.int64)
+        chunks[-1] = boundary - int(cum0[cut] - base)
+        self._next = cut + 1
+        return chunks, boundary, True
+
+
+class _SessionColumns:
+    """Accumulates one session's plan columns without per-plan arrays.
+
+    Plan builders append kind/size *segments* (shared single-row
+    constants or vectorized chunk arrays) plus sparse fix-ups; the
+    constant-within-a-plan columns (plan id, category) are materialised
+    at the end with one ``np.repeat`` over the plan lengths, and path /
+    flag columns with one fancy assignment each — so building a session
+    costs O(plans) small Python appends plus O(ops) vectorized work,
+    instead of six array allocations per plan.
+    """
+
+    __slots__ = (
+        "paths", "categories", "kind_segs", "size_segs", "lengths",
+        "plan_base", "cat_base", "plan_fix_pos", "plan_fix_val",
+        "path_pos", "path_val", "flag_pos", "flag_val",
+        "mix_start", "mix_count", "mix_step", "mix_wf", "total",
+    )
+
+    def __init__(self, paths: StringTable, categories: StringTable):
+        self.paths = paths
+        self.categories = categories
+        self.kind_segs: list[np.ndarray] = []
+        self.size_segs: list = []
+        self.lengths: list[int] = []
+        self.plan_base: list[int] = []   # np.repeat fill per plan
+        self.cat_base: list[int] = []
+        self.plan_fix_pos: list[int] = []  # sparse overrides (unlink/stat)
+        self.plan_fix_val: list[int] = []
+        self.path_pos: list[int] = []
+        self.path_val: list[int] = []
+        self.flag_pos: list[int] = []
+        self.flag_val: list[int] = []
+        # Write-mix draw ranges: each chunk segment that consumes
+        # write-mix uniforms records (first row, count, row stride,
+        # write fraction); the draws happen once per session, in range
+        # order — the same order the scalar loop consumes them.
+        self.mix_start: list[int] = []
+        self.mix_count: list[int] = []
+        self.mix_step: list[int] = []
+        self.mix_wf: list[float] = []
+        self.total = 0
+
+    def add_plan(self, n: int, plan_value: int, cat_idx: int) -> None:
+        """Close one plan of ``n`` rows (segments already appended)."""
+        self.lengths.append(n)
+        self.plan_base.append(plan_value)
+        self.cat_base.append(cat_idx)
+        self.total += n
+
+
 class SessionGenerator:
     """Generates login-session operation streams for one virtual user.
 
@@ -142,8 +337,9 @@ class SessionGenerator:
     cross-backend stream identity): all of a user's randomness comes from
     ``streams.fork(f"user-{user_id}")``, a family derived from the *root*
     seed and the user id alone, with one named sub-stream per sampled
-    quantity (selection, per-category counts/budgets/sizes, chunk sizes,
-    write mix, seek offsets, think times, phase transitions).  A user's
+    quantity (selection, plan-interleave slots, per-category
+    counts/budgets/sizes, chunk sizes, write mix, seek offsets, think
+    times, phase transitions).  A user's
     operation stream is therefore identical no matter which other users
     run alongside it, which worker process it runs in, or which execution
     backend replays it — this is what makes sharded fleet runs aggregate
@@ -177,13 +373,24 @@ class SessionGenerator:
         self.phase_model = phase_model
         base = streams.fork(f"user-{user_id}")
         self._rng_select = base.get("select")
-        self._chunk = BatchSampler(user_type.access_size, base.get("chunk"),
-                                   block=512)
+        # Plan interleaving draws from its own uniform stream ("slot",
+        # distinct from "select") so the columnar path can pre-draw a
+        # whole session's slot uniforms in one block: a uniform is
+        # bound-independent (slot = floor(u * width)), unlike bounded
+        # integer draws whose bit consumption depends on the bound.
+        self._slot = BatchSampler(_UNIT, base.get("slot"), block=512)
+        self._chunk = _ChunkBlock(user_type.access_size, base.get("chunk"),
+                                  block=512)
         self._think = BatchSampler(user_type.think_time, base.get("think"),
                                    block=512)
         self._write_mix = BatchSampler(_UNIT, base.get("write-mix"), block=512)
-        self._seek = BatchSampler(_UNIT, base.get("seek"), block=256)
-        self._phase = BatchSampler(_UNIT, base.get("phase"), block=256)
+        # The seek and phase streams are only ever *drawn* in random
+        # mode / with a phase model; skipping their generator setup
+        # otherwise cannot change any stream (they are never consumed).
+        self._seek = (BatchSampler(_UNIT, base.get("seek"), block=256)
+                      if access_pattern == "random" else None)
+        self._phase = (BatchSampler(_UNIT, base.get("phase"), block=256)
+                       if phase_model is not None else None)
         self._usage_samplers = tuple(
             _UsageSamplers(
                 usage=usage,
@@ -380,8 +587,19 @@ class SessionGenerator:
 
     # -- session assembly ------------------------------------------------------------
 
-    def _build_plans(self, session_id: int) -> list[_FilePlan]:
-        plans: list[_FilePlan] = []
+    def _session_plan_specs(self, session_id: int):
+        """Yield one ``(shape, samplers, path, extra)`` spec per file plan.
+
+        This is the session's *selection* walk — which categories fire,
+        how many files, which pool members — shared verbatim by the
+        scalar (:meth:`_build_plans`) and columnar
+        (:meth:`generate_session_batch`) paths so both consume the
+        ``select`` stream identically.  ``extra`` is the ``temporary``
+        flag for ``"new"`` plans and the file/directory size otherwise.
+        Specs are yielded lazily: new-file paths embed the live plan
+        counter, which the consumer advances between specs exactly as
+        the pre-refactor loop did.
+        """
         for samplers in self._usage_samplers:
             usage = samplers.usage
             if self._rng_select.random() >= usage.fraction_of_users:
@@ -397,7 +615,7 @@ class SessionGenerator:
                         f"{home}/{prefix}-s{session_id:04d}-"
                         f"p{self._plan_counter:05d}-{k}"
                     )
-                    plans.append(self._plan_for_new(samplers, path, temporary))
+                    yield "new", samplers, path, temporary
                 continue
             pool = self.layout.files_for(category, self.user_id)
             if not pool:
@@ -407,16 +625,20 @@ class SessionGenerator:
             )
             for idx in chosen_idx.reshape(-1):
                 record = pool[int(idx)]
-                if category.is_directory:
-                    plans.append(
-                        self._plan_for_directory(samplers, record.path,
-                                                 record.size)
-                    )
-                else:
-                    plans.append(
-                        self._plan_for_existing(samplers, record.path,
-                                                record.size)
-                    )
+                shape = "dir" if category.is_directory else "existing"
+                yield shape, samplers, record.path, record.size
+
+    def _build_plans(self, session_id: int) -> list[_FilePlan]:
+        plans: list[_FilePlan] = []
+        for shape, samplers, path, extra in self._session_plan_specs(
+            session_id
+        ):
+            if shape == "new":
+                plans.append(self._plan_for_new(samplers, path, extra))
+            elif shape == "dir":
+                plans.append(self._plan_for_directory(samplers, path, extra))
+            else:
+                plans.append(self._plan_for_existing(samplers, path, extra))
         return plans
 
     def generate_session(self, session_id: int) -> Iterator[SessionOp]:
@@ -427,15 +649,22 @@ class SessionGenerator:
         with at most ``user_type.max_open_files`` concurrently open.
         A think-time operation follows every file operation.
         """
-        pending = self._build_plans(session_id)
+        # deque: popping the head of a list is O(n) per pop, O(n²) per
+        # session; popleft keeps the identical FIFO order in O(1).
+        pending = deque(self._build_plans(session_id))
         active: list[_FilePlan] = []
         max_open = self.user_type.max_open_files
         while pending or active:
             while pending and len(active) < max_open:
-                active.append(pending.pop(0))
+                active.append(pending.popleft())
             if not active:
                 break
-            slot = int(self._rng_select.integers(0, len(active)))
+            # One uniform per op; floor(u * width) can land on width
+            # itself only through float rounding of u ≈ 1, hence the
+            # clamp (same rule as _seek_offset).
+            slot = int(self._slot.draw() * len(active))
+            if slot == len(active):
+                slot -= 1
             plan = active[slot]
             op = plan.pop()
             yield op
@@ -443,3 +672,318 @@ class SessionGenerator:
                 active.pop(slot)
             think = self._sample_think_us()
             yield SessionOp("think", size=think)
+
+    # -- columnar synthesis ------------------------------------------------------
+    #
+    # The batch path draws the *same* variate sequence from the same
+    # per-quantity streams as the scalar path — chunk sizes, write-mix
+    # and seek uniforms, slot uniforms, think times, phase steps — but
+    # in whole blocks, with the per-chunk while loops replaced by
+    # searchsorted cuts against the chunk block's cached prefix sums.
+    # Because every quantity owns a named stream and both paths consume
+    # each stream strictly in draw order, the emitted streams are
+    # byte-identical; tests/core/test_columnar_golden.py holds scalar vs
+    # columnar equality across every scenario.
+
+    def _append_data_cols(self, budget: int, file_size: int,
+                          write_fraction: float, cols: _SessionColumns,
+                          row0: int) -> int:
+        """Vectorized :meth:`_data_ops`, appended straight into ``cols``.
+
+        Emits the identical row sequence — chunked read/write ops plus
+        the interleaved lseek rows (wrap-to-zero in sequential mode, one
+        per chunk in random mode) — and registers each chunk segment's
+        write-mix range (patched once per session).  ``row0`` is the
+        global row index of the first appended row; returns the number
+        of rows appended.
+        """
+        if budget <= 0 or file_size <= 0:
+            return 0
+        kind_segs = cols.kind_segs
+        size_segs = cols.size_segs
+        row = row0
+        if self.access_pattern == "random":
+            remaining = budget
+            while remaining > 0:
+                san = self._chunk.san_view()
+                seeks = self._seek.peek_buffer()
+                width = min(len(san), len(seeks), _CHUNK_SLAB)
+                offsets = np.minimum(
+                    (seeks[:width] * file_size).astype(np.int64),
+                    file_size - 1,
+                )
+                candidates = np.minimum(
+                    san[:width], (file_size - offsets).astype(np.float64)
+                )
+                np.minimum(candidates, float(remaining), out=candidates)
+                total = np.cumsum(candidates)
+                cut = int(total.searchsorted(float(remaining), side="left"))
+                if cut >= width:
+                    take = width
+                    advanced = int(total[-1])
+                else:
+                    take = cut + 1
+                    advanced = remaining
+                chunks = candidates[:take].astype(np.int64)
+                if cut < width:
+                    chunks[cut] = remaining - (int(total[cut - 1])
+                                               if cut else 0)
+                self._chunk.consume(take)
+                self._seek.consume(take)
+                sizes = np.empty(2 * take, dtype=np.int64)
+                sizes[0::2] = offsets[:take]
+                sizes[1::2] = chunks
+                kind_segs.append(_LSEEK_READ_PAIRS[:2 * take])
+                size_segs.append(sizes)
+                cols.mix_start.append(row + 1)
+                cols.mix_count.append(take)
+                cols.mix_step.append(2)
+                cols.mix_wf.append(write_fraction)
+                row += 2 * take
+                remaining -= advanced
+        else:
+            position = 0
+            remaining = budget
+            while remaining > 0:
+                if position >= file_size:
+                    kind_segs.append(_LSEEK_ROW)
+                    size_segs.append(_ZERO_I64)
+                    row += 1
+                    position = 0
+                chunks, advanced, _ = self._chunk.run(
+                    min(remaining, file_size - position)
+                )
+                take = len(chunks)
+                kind_segs.append(_READ_RUN[:take])
+                size_segs.append(chunks)
+                cols.mix_start.append(row)
+                cols.mix_count.append(take)
+                cols.mix_step.append(1)
+                cols.mix_wf.append(write_fraction)
+                row += take
+                position += advanced
+                remaining -= advanced
+        return row - row0
+
+    def _append_write_out(self, target_size: int,
+                          cols: _SessionColumns) -> int:
+        """Vectorized :meth:`_write_out_ops`; returns rows appended."""
+        count = 0
+        remaining = target_size
+        while remaining > 0:
+            chunks, advanced, _ = self._chunk.run(remaining)
+            cols.kind_segs.append(_WRITE_RUN[:len(chunks)])
+            cols.size_segs.append(chunks)
+            count += len(chunks)
+            remaining -= advanced
+        return count
+
+    def _append_plan_for_existing(self, samplers: _UsageSamplers, path: str,
+                                  file_size: int,
+                                  cols: _SessionColumns) -> None:
+        """Columnar :meth:`_plan_for_existing`: open → data ops → close."""
+        category = samplers.usage.category
+        plan_id = self._next_plan_id()
+        budget = self._sample_access_budget(samplers, file_size)
+        write_fraction = 0.5 if category.use is UseType.RD_WRT else 0.0
+        mode = OpenFlags.RDWR if category.writes else OpenFlags.RDONLY
+        start = cols.total
+        cols.kind_segs.append(_OPEN_ROW)
+        cols.size_segs.append([file_size])
+        n = 1 + self._append_data_cols(budget, file_size, write_fraction,
+                                       cols, start + 1)
+        cols.kind_segs.append(_CLOSE_ROW)
+        cols.size_segs.append(_ZERO_I64)
+        n += 1
+        path_id = cols.paths.intern(path)
+        cols.path_pos += (start, start + n - 1)
+        cols.path_val += (path_id, path_id)
+        if mode:
+            cols.flag_pos.append(start)
+            cols.flag_val.append(int(mode))
+        cols.add_plan(n, plan_id, cols.categories.intern(category.key))
+
+    def _append_plan_for_new(self, samplers: _UsageSamplers, path: str,
+                             temporary: bool,
+                             cols: _SessionColumns) -> None:
+        """Columnar :meth:`_plan_for_new`: creat, write out, re-read,
+        close (+unlink for TEMP)."""
+        category = samplers.usage.category
+        plan_id = self._next_plan_id()
+        target_size = self._sample_file_size(samplers)
+        start = cols.total
+        cols.kind_segs.append(_CREAT_ROW)
+        cols.size_segs.append([target_size])
+        n = 1 + self._append_write_out(target_size, cols)
+        budget = self._sample_access_budget(samplers, target_size)
+        read_budget = max(0, budget - target_size)
+        if read_budget > 0:
+            cols.kind_segs.append(_LSEEK_ROW)
+            cols.size_segs.append(_ZERO_I64)
+            n += 1
+            n += self._append_data_cols(read_budget, target_size, 0.0,
+                                        cols, start + n)
+        cols.kind_segs.append(_CLOSE_ROW)
+        cols.size_segs.append(_ZERO_I64)
+        n += 1
+        path_id = cols.paths.intern(path)
+        cols.path_pos += (start, start + n - 1)  # creat and close rows
+        cols.path_val += (path_id, path_id)
+        if temporary:
+            cols.kind_segs.append(_UNLINK_ROW)
+            cols.size_segs.append(_ZERO_I64)
+            n += 1
+            cols.path_pos.append(start + n - 1)
+            cols.path_val.append(path_id)
+            cols.plan_fix_pos.append(start + n - 1)
+            cols.plan_fix_val.append(-1)  # unlink carries no plan id
+        cols.flag_pos.append(start)
+        cols.flag_val.append(_CREAT_FLAGS)
+        cols.add_plan(n, plan_id, cols.categories.intern(category.key))
+
+    def _append_plan_for_directory(self, samplers: _UsageSamplers, path: str,
+                                   dir_size: int,
+                                   cols: _SessionColumns) -> None:
+        """Columnar :meth:`_plan_for_directory`: stat + per-pass listdir."""
+        category = samplers.usage.category
+        plan_id = self._next_plan_id()
+        passes = max(1, int(round(self._sample_ratio(samplers))))
+        n = 1 + passes
+        kinds = np.full(n, KIND_LISTDIR, dtype=np.int8)
+        kinds[0] = KIND_STAT
+        start = cols.total
+        cols.kind_segs.append(kinds)
+        cols.size_segs.append(np.full(n, dir_size, dtype=np.int64))
+        path_id = cols.paths.intern(path)
+        cols.path_pos.extend(range(start, start + n))
+        cols.path_val.extend([path_id] * n)
+        cols.plan_fix_pos.append(start)  # only stat carries the plan id
+        cols.plan_fix_val.append(plan_id)
+        cols.add_plan(n, -1, cols.categories.intern(category.key))
+
+    def _think_col(self, n: int) -> np.ndarray:
+        """``n`` think times (µs, int64) — the vectorized
+        :meth:`_sample_think_us`, phase modulation included."""
+        raw = self._think.take(n)
+        if self.phase_model is not None:
+            raw = raw * self.phase_model.step_many(self._phase.take(n))
+        ok = np.isfinite(raw) & (raw >= 0.0)
+        think = np.zeros(n, dtype=np.float64)
+        np.rint(raw, where=ok, out=think)
+        return np.minimum(think, _INT64_SATURATE).astype(np.int64)
+
+    def generate_session_batch(self, session_id: int) -> OpBatch:
+        """The columnar :meth:`generate_session`: one login session as an
+        :class:`~repro.core.opbatch.OpBatch`.
+
+        Row ``i`` is the ``i``-th file operation; the think pause that
+        follows it lands in the batch's ``think_us`` column (the exact
+        stream :meth:`generate_session` yields, re-interleavable via
+        :meth:`~repro.core.opbatch.OpBatch.iter_session_ops`).  Timing
+        columns are zero; an execution backend fills them.
+        """
+        cols = _SessionColumns(StringTable(), StringTable())
+        for shape, samplers, path, extra in self._session_plan_specs(
+            session_id
+        ):
+            if shape == "new":
+                self._append_plan_for_new(samplers, path, extra, cols)
+            elif shape == "dir":
+                self._append_plan_for_directory(samplers, path, extra, cols)
+            else:
+                self._append_plan_for_existing(samplers, path, extra, cols)
+
+        # Interleave plans exactly as generate_session does: same FIFO
+        # admission to the open-file window, same per-op slot uniform.
+        # Every op consumes exactly one "slot" draw, so the whole
+        # session's uniforms arrive as one pre-drawn block and the loop
+        # is pure Python bookkeeping — no per-op RNG call.
+        lengths = cols.lengths
+        offsets: list[int] = []
+        end = 0
+        for length in lengths:
+            offsets.append(end)
+            end += length
+        n = cols.total
+        uniforms = self._slot.take(n).tolist()
+        pending = deque(range(len(lengths)))
+        popleft = pending.popleft
+        cursor: list[int] = []     # per active slot: next global row
+        remaining: list[int] = []  # per active slot: ops left
+        order = [0] * n
+        max_open = self.user_type.max_open_files
+        width = 0
+        for i, u in enumerate(uniforms):
+            if width < max_open and pending:
+                while pending and width < max_open:
+                    j = popleft()
+                    cursor.append(offsets[j])
+                    remaining.append(lengths[j])
+                    width += 1
+            s = int(u * width)
+            if s == width:  # float rounding of u ≈ 1 (see _seek_offset)
+                s = width - 1
+            row = cursor[s]
+            order[i] = row
+            left = remaining[s] - 1
+            if left:
+                cursor[s] = row + 1
+                remaining[s] = left
+            else:
+                del cursor[s]
+                del remaining[s]
+                width -= 1
+
+        user_types = StringTable()
+        type_idx = user_types.intern(self.user_type.name)
+        if not lengths:
+            batch = OpBatch.empty(0, cols.paths, cols.categories, user_types)
+            batch.think_us = self._think_col(0)
+            return batch
+
+        kinds = np.concatenate(cols.kind_segs)
+        if cols.mix_count:
+            # One write-mix block for the whole session: same draws, in
+            # the same per-stream order, as the scalar per-op draws.
+            counts = np.asarray(cols.mix_count)
+            total_mix = int(counts.sum())
+            mix = self._write_mix.take(total_mix)
+            writes = mix < np.repeat(np.asarray(cols.mix_wf), counts)
+            if writes.any():
+                head = np.empty(len(counts), dtype=np.int64)
+                head[0] = 0
+                np.cumsum(counts[:-1], out=head[1:])
+                intra = np.arange(total_mix) - np.repeat(head, counts)
+                rows = (np.repeat(np.asarray(cols.mix_start), counts)
+                        + intra * np.repeat(np.asarray(cols.mix_step),
+                                            counts))
+                kinds[rows[writes]] = KIND_WRITE
+        perm = np.asarray(order, dtype=np.int64)
+        reps = np.asarray(lengths)
+        plan_col = np.repeat(np.asarray(cols.plan_base, dtype=np.int64), reps)
+        if cols.plan_fix_pos:
+            plan_col[cols.plan_fix_pos] = cols.plan_fix_val
+        path_col = np.full(n, -1, dtype=np.int32)
+        path_col[cols.path_pos] = cols.path_val
+        flags_col = np.zeros(n, dtype=np.int16)
+        if cols.flag_pos:
+            flags_col[cols.flag_pos] = cols.flag_val
+        batch = OpBatch(
+            kinds=kinds[perm],
+            plan_ids=plan_col[perm],
+            sizes=np.concatenate(cols.size_segs)[perm],
+            flags=flags_col[perm],
+            path_idx=path_col[perm],
+            category_idx=np.repeat(
+                np.asarray(cols.cat_base, dtype=np.int32), reps)[perm],
+            user_ids=np.full(n, self.user_id, dtype=np.int64),
+            session_ids=np.full(n, session_id, dtype=np.int64),
+            user_type_idx=np.full(n, type_idx, dtype=np.int32),
+            start_us=np.zeros(n, dtype=np.float64),
+            response_us=np.zeros(n, dtype=np.float64),
+            think_us=self._think_col(n),
+            paths=cols.paths,
+            categories=cols.categories,
+            user_types=user_types,
+        )
+        return batch

@@ -70,14 +70,72 @@ class BatchSampler:
             return self._constant
         buffer = self._buffer
         if buffer is None or self._next >= len(buffer):
-            buffer = np.asarray(
-                self._dist.sample(self._rng, size=self._block), dtype=float
-            )
-            self._buffer = buffer
-            self._next = 0
+            buffer = self._refill()
         value = float(buffer[self._next])
         self._next += 1
         return value
+
+    def _refill(self) -> np.ndarray:
+        buffer = np.asarray(
+            self._dist.sample(self._rng, size=self._block), dtype=float
+        )
+        self._buffer = buffer
+        self._next = 0
+        return buffer
+
+    # -- vectorized consumption ----------------------------------------------
+    #
+    # The columnar synthesis path consumes the *same* variate sequence as
+    # scalar ``draw()`` calls, just whole arrays at a time.  All three
+    # methods preserve the sequence exactly: refills always pull
+    # ``block``-sized chunks from this sampler's own stream, and variates
+    # are served strictly in draw order, so mixing ``draw``/``take``/
+    # ``peek_buffer``+``consume`` on one sampler can never reorder or
+    # skip a value.
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` variates as one array (consumes them)."""
+        if n < 0:
+            raise DistributionError(f"take() needs n >= 0, got {n}")
+        if self._constant is not None:
+            return np.full(n, self._constant)
+        out = np.empty(n, dtype=float)
+        filled = 0
+        while filled < n:
+            buffer = self._buffer
+            if buffer is None or self._next >= len(buffer):
+                buffer = self._refill()
+            k = min(n - filled, len(buffer) - self._next)
+            out[filled:filled + k] = buffer[self._next:self._next + k]
+            self._next += k
+            filled += k
+        return out
+
+    def peek_buffer(self) -> np.ndarray:
+        """The not-yet-consumed remainder of the current block (a view).
+
+        Refills first when the block is spent, so the result always has
+        at least one element.  Callers must not mutate the view; pair
+        with :meth:`consume` to advance past the variates actually used.
+        """
+        if self._constant is not None:
+            return np.full(self._block, self._constant)
+        buffer = self._buffer
+        if buffer is None or self._next >= len(buffer):
+            buffer = self._refill()
+        return buffer[self._next:]
+
+    def consume(self, n: int) -> None:
+        """Advance past ``n`` variates previously seen via peek_buffer."""
+        if self._constant is not None:
+            return
+        buffer = self._buffer
+        if n < 0 or buffer is None or self._next + n > len(buffer):
+            raise DistributionError(
+                f"cannot consume {n} variates; "
+                f"{0 if buffer is None else len(buffer) - self._next} buffered"
+            )
+        self._next += n
 
     @property
     def block(self) -> int:

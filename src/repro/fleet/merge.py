@@ -25,6 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+import numpy as np
+
+from ..core.opbatch import KIND_READ, KIND_WRITE, OP_KIND_NAMES, OpBatch
 from ..core.oplog import OpRecord, SessionRecord, UsageLog
 from ..sim import RunningStats
 
@@ -79,33 +82,80 @@ class WorkloadTally:
             self.sessions_by_type.get(record.user_type, 0) + 1
         )
 
+    def record_batch(self, batch: OpBatch) -> None:
+        """Fold a columnar batch — ``np.bincount`` over the kind and
+        category code columns instead of one dict update per op.
+
+        Exact-integer equivalent of calling :meth:`record_op` on every
+        row (including the quirk that a data op *creates* its category
+        key even when it moves zero bytes), which is what keeps columnar
+        and scalar tallies bit-for-bit equal.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        self.operations += n
+        kinds = batch.kinds
+        sizes = batch.sizes
+        by_kind = self.ops_by_kind
+        counts = np.bincount(kinds, minlength=len(OP_KIND_NAMES))
+        for code in np.flatnonzero(counts).tolist():
+            name = OP_KIND_NAMES[code]
+            by_kind[name] = by_kind.get(name, 0) + int(counts[code])
+        read_mask = kinds == KIND_READ
+        write_mask = kinds == KIND_WRITE
+        self.bytes_read += int(sizes[read_mask].sum())
+        self.bytes_written += int(sizes[write_mask].sum())
+        data_rows = np.flatnonzero(
+            (read_mask | write_mask) & (batch.category_idx >= 0)
+        )
+        if len(data_rows):
+            per_category = np.zeros(len(batch.categories), dtype=np.int64)
+            np.add.at(per_category, batch.category_idx[data_rows],
+                      sizes[data_rows])
+            names = batch.categories.values()
+            by_category = self.bytes_by_category
+            for i in np.unique(batch.category_idx[data_rows]).tolist():
+                key = names[i]
+                if key:
+                    by_category[key] = (
+                        by_category.get(key, 0) + int(per_category[i])
+                    )
+
     # -- merging / reporting ---------------------------------------------------
+
+    def _accumulate(self, other: "WorkloadTally") -> None:
+        """Add ``other`` into self, in place (no dict rebuilding)."""
+        self.sessions += other.sessions
+        self.operations += other.operations
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.files_referenced += other.files_referenced
+        self.file_bytes_referenced += other.file_bytes_referenced
+        for attr in ("ops_by_kind", "bytes_by_category", "sessions_by_type"):
+            mine = getattr(self, attr)
+            for key, value in getattr(other, attr).items():
+                mine[key] = mine.get(key, 0) + value
 
     def merge(self, other: "WorkloadTally") -> "WorkloadTally":
         """Sum of two tallies (new object; operands untouched)."""
-        merged = WorkloadTally(
-            sessions=self.sessions + other.sessions,
-            operations=self.operations + other.operations,
-            bytes_read=self.bytes_read + other.bytes_read,
-            bytes_written=self.bytes_written + other.bytes_written,
-            files_referenced=self.files_referenced + other.files_referenced,
-            file_bytes_referenced=(
-                self.file_bytes_referenced + other.file_bytes_referenced
-            ),
-        )
-        for attr in ("ops_by_kind", "bytes_by_category", "sessions_by_type"):
-            combined = dict(getattr(self, attr))
-            for key, value in getattr(other, attr).items():
-                combined[key] = combined.get(key, 0) + value
-            setattr(merged, attr, combined)
+        merged = WorkloadTally()
+        merged._accumulate(self)
+        merged._accumulate(other)
         return merged
 
     @classmethod
     def merge_all(cls, parts: Iterable["WorkloadTally"]) -> "WorkloadTally":
-        """Sum many tallies."""
+        """Sum many tallies into one fresh accumulator.
+
+        Accumulates in place — one dict update per key per part —
+        instead of the old fold over :meth:`merge`, which rebuilt all
+        three dicts (and re-copied every previously merged shard's keys)
+        at each step.  :meth:`merge` itself stays pure.
+        """
         merged = cls()
         for part in parts:
-            merged = merged.merge(part)
+            merged._accumulate(part)
         return merged
 
     @classmethod
@@ -161,3 +211,10 @@ class ShardAccumulator:
         self.tally.record_session(record)
         if self.log is not None:
             self.log.record_session(record)
+
+    def record_batch(self, batch: OpBatch) -> None:
+        """Fold a columnar batch: vectorized tally + batch Welford."""
+        self.tally.record_batch(batch)
+        self.response_us.add_array(batch.response_us)
+        if self.log is not None:
+            self.log.record_batch(batch)

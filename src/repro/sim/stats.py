@@ -46,6 +46,31 @@ class RunningStats:
         for value in values:
             self.add(value)
 
+    def add_array(self, values: np.ndarray) -> None:
+        """Fold a whole array in one vectorized step.
+
+        Computes the array's count/mean/M2/min/max with NumPy and folds
+        them in via the parallel Welford :meth:`merge`.  Mean and
+        variance can differ from element-wise :meth:`add` in the last
+        few float bits (both are valid accumulation orders); counts and
+        extrema are exact.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        batch = RunningStats()
+        batch.count = int(values.size)
+        batch._mean = float(values.mean())
+        batch._m2 = float(np.sum((values - batch._mean) ** 2))
+        batch.minimum = float(values.min())
+        batch.maximum = float(values.max())
+        merged = self.merge(batch)
+        self.count = merged.count
+        self._mean = merged._mean
+        self._m2 = merged._m2
+        self.minimum = merged.minimum
+        self.maximum = merged.maximum
+
     @property
     def mean(self) -> float:
         """Sample mean (0.0 when empty)."""
