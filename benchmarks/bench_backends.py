@@ -13,7 +13,15 @@ meaningless.
 Speedup floors enforced at full size (tiny smoke runs skip them):
 
 * ``fast``          >= 5x the DES ops/s (the PR 3 floor);
-* ``fast-columnar`` >= 4x the scalar fast ops/s and >= 20x the DES.
+* ``fast-columnar`` >= 4x the scalar fast ops/s and >= 20x the DES;
+* ``fast-columnar`` >= 20x the DES **with arrivals enabled** too — the
+  temporal load layer resolves schedules once per user, so it must not
+  erode the columnar floor.
+
+Each sweep therefore runs twice: once classic (all users at clock 0)
+and once with the scenario's arrival model (diurnal session timing).
+The identity check also runs both ways: arrivals must move the
+timeline without touching the op stream.
 
 The fast paths are timed best-of-``BENCH_BACKENDS_REPEATS`` (default 3)
 because their runs are short enough for scheduler noise to matter; the
@@ -70,25 +78,34 @@ def _content_by_user(log):
     return by_user
 
 
-def assert_identical_streams(users: int, seed: int = SEED) -> int:
+def assert_identical_streams(users: int, seed: int = SEED,
+                             arrivals: bool = False) -> int:
     """Run every backend with full op logs; assert stream identity.
+
+    With ``arrivals=True`` the scenario's temporal load model is
+    enabled: the op stream must *still* be identical across backends
+    (arrivals move only the timeline), and the engine-free pair must
+    stay bit-identical on records — start clocks included.
 
     Returns the number of ops compared.
     """
     scenario = get_scenario(SCENARIO)
     spec = scenario.build(users, seed)
+    model = (scenario.arrival_model if arrivals else None)
     logs = {}
     for backend in BACKENDS:
         result = WorkloadGenerator(spec).run_simulated(
             sessions_per_user=scenario.default_sessions,
             backend=backend,
             access_pattern=scenario.access_pattern,
+            arrivals=model,
         )
         logs[backend] = result.log
     reference = _content_by_user(logs[BACKENDS[0]])
     for backend in BACKENDS[1:]:
         assert _content_by_user(logs[backend]) == reference, (
             f"{backend} op stream diverged from the {BACKENDS[0]} stream"
+            f"{' (arrivals enabled)' if arrivals else ''}"
         )
     # The two engine-free paths must agree on *timing* too — same
     # analytic model, same float accumulation order.
@@ -98,7 +115,8 @@ def assert_identical_streams(users: int, seed: int = SEED) -> int:
     return sum(len(ops) for ops in reference.values())
 
 
-def _timed_run(backend: str, users: int, seed: int, repeats: int):
+def _timed_run(backend: str, users: int, seed: int, repeats: int,
+               arrivals: bool = False):
     """Best-of-``repeats`` fleet run; returns (wall_s, tally)."""
     best = None
     result = None
@@ -107,18 +125,15 @@ def _timed_run(backend: str, users: int, seed: int, repeats: int):
         result = run_fleet(FleetConfig(
             scenario=SCENARIO, users=users, shards=1, workers=1, seed=seed,
             backend=backend, sessions_per_user=SESSIONS,
+            use_arrivals=arrivals,
         ))
         wall_s = time.perf_counter() - started
         best = wall_s if best is None else min(best, wall_s)
     return best, result
 
 
-def backend_throughput_results(users: int = None, seed: int = SEED) -> dict:
-    """Determinism check + timed sweep; returns the result dict."""
-    users = USERS if users is None else users
-    check_users = max(4, users // 8)
-    checked_ops = assert_identical_streams(check_users, seed)
-
+def _timed_sweep(users: int, seed: int, arrivals: bool):
+    """Time every backend once; returns (rows, wall-by-backend)."""
     runs = []
     wall_by_backend = {}
     for backend in BACKENDS:
@@ -126,21 +141,43 @@ def backend_throughput_results(users: int = None, seed: int = SEED) -> dict:
         # are sub-second, where one scheduler hiccup would swing the
         # recorded speedups, so they take the best of several repeats.
         repeats = 1 if backend == "nfs" else REPEATS
-        wall_s, result = _timed_run(backend, users, seed, repeats)
+        wall_s, result = _timed_run(backend, users, seed, repeats,
+                                    arrivals=arrivals)
         wall_by_backend[backend] = wall_s
         runs.append({
             "backend": backend,
+            "arrivals": arrivals,
             "wall_s": wall_s,
             "repeats": repeats,
             "ops": result.tally.operations,
             "ops_per_s": (result.tally.operations / wall_s
                           if wall_s > 0 else 0.0),
         })
+    return runs, wall_by_backend
 
-    def speedup(numerator, denominator):
-        if wall_by_backend[denominator] <= 0:
+
+def backend_throughput_results(users: int = None, seed: int = SEED) -> dict:
+    """Determinism check + timed sweep; returns the result dict.
+
+    Two sweeps run: the classic everyone-starts-at-zero configuration,
+    and the same population with the scenario's arrival model enabled —
+    the temporal layer must not erode the columnar floor (>= 20x the
+    DES), since schedules are resolved once per user and the hot path
+    is untouched.
+    """
+    users = USERS if users is None else users
+    check_users = max(4, users // 8)
+    checked_ops = assert_identical_streams(check_users, seed)
+    checked_ops_arrivals = assert_identical_streams(check_users, seed,
+                                                    arrivals=True)
+
+    runs, wall_by_backend = _timed_sweep(users, seed, arrivals=False)
+    runs_arrivals, wall_arrivals = _timed_sweep(users, seed, arrivals=True)
+
+    def speedup(walls, numerator, denominator):
+        if walls[denominator] <= 0:
             return 0.0
-        return wall_by_backend[numerator] / wall_by_backend[denominator]
+        return walls[numerator] / walls[denominator]
 
     return {
         "benchmark": "backends",
@@ -151,10 +188,16 @@ def backend_throughput_results(users: int = None, seed: int = SEED) -> dict:
         "identical_streams": True,
         "identity_checked_users": check_users,
         "identity_checked_ops": checked_ops,
-        "speedup_fast_over_sim": speedup("nfs", "fast"),
-        "speedup_columnar_over_fast": speedup("fast", "fast-columnar"),
-        "speedup_columnar_over_sim": speedup("nfs", "fast-columnar"),
+        "identity_checked_ops_arrivals": checked_ops_arrivals,
+        "speedup_fast_over_sim": speedup(wall_by_backend, "nfs", "fast"),
+        "speedup_columnar_over_fast": speedup(
+            wall_by_backend, "fast", "fast-columnar"),
+        "speedup_columnar_over_sim": speedup(
+            wall_by_backend, "nfs", "fast-columnar"),
+        "speedup_columnar_over_sim_arrivals": speedup(
+            wall_arrivals, "nfs", "fast-columnar"),
         "runs": runs,
+        "runs_arrivals": runs_arrivals,
     }
 
 
@@ -170,11 +213,12 @@ def write_results_json(results: dict, path: str = None) -> str:
 def results_table(results: dict) -> str:
     """Render the result dict as the human-readable table."""
     rows = [
-        (run["backend"], run["wall_s"], run["ops"], run["ops_per_s"])
-        for run in results["runs"]
+        (run["backend"], "yes" if run.get("arrivals") else "no",
+         run["wall_s"], run["ops"], run["ops_per_s"])
+        for run in results["runs"] + results.get("runs_arrivals", [])
     ]
     return format_table(
-        ["backend", "wall s", "ops", "ops/s"],
+        ["backend", "arrivals", "wall s", "ops", "ops/s"],
         rows,
         title=(
             f"Backend throughput — {results['scenario']}, "
@@ -183,7 +227,9 @@ def results_table(results: dict) -> str:
             f"{results['identity_checked_ops']} ops; fast is "
             f"{results['speedup_fast_over_sim']:.1f}x sim, columnar is "
             f"{results['speedup_columnar_over_fast']:.1f}x fast "
-            f"({results['speedup_columnar_over_sim']:.1f}x sim)"
+            f"({results['speedup_columnar_over_sim']:.1f}x sim, "
+            f"{results['speedup_columnar_over_sim_arrivals']:.1f}x sim "
+            f"with arrivals)"
         ),
     )
 
@@ -202,6 +248,7 @@ def check_speedup_floors(results: dict) -> list[str]:
         ("speedup_fast_over_sim", MIN_SPEEDUP),
         ("speedup_columnar_over_fast", MIN_COLUMNAR_OVER_FAST),
         ("speedup_columnar_over_sim", MIN_COLUMNAR_OVER_SIM),
+        ("speedup_columnar_over_sim_arrivals", MIN_COLUMNAR_OVER_SIM),
     ):
         if results[key] < floor:
             failures.append(

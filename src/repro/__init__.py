@@ -48,6 +48,8 @@ Calibrating from a trace::
 """
 
 from .core import (
+    ArrivalModel,
+    DEFAULT_ARRIVALS,
     DistributionSpecifier,
     ExecutionBackend,
     FastReplayBackend,
@@ -55,6 +57,7 @@ from .core import (
     FileCategorySpec,
     FileSystemCreator,
     FileSystemLayout,
+    LoadProfile,
     OpRecord,
     PhaseModel,
     RealRunner,
@@ -67,10 +70,12 @@ from .core import (
     UserTypeSpec,
     WorkloadGenerator,
     WorkloadSpec,
+    get_profile,
     paper_file_categories,
     paper_usage_specs,
     paper_user_type,
     paper_workload_spec,
+    profile_names,
 )
 from .distributions import (
     CdfTable,
@@ -104,6 +109,11 @@ from .vfs import LocalFileSystem, MemoryFileSystem, OpenFlags
 __version__ = "1.1.0"
 
 __all__ = [
+    "ArrivalModel",
+    "DEFAULT_ARRIVALS",
+    "LoadProfile",
+    "get_profile",
+    "profile_names",
     "DistributionSpecifier",
     "FileCategory",
     "FileCategorySpec",

@@ -88,6 +88,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--think-us", type=float, default=5000.0,
                        help="heavy users' mean think time (µs)")
 
+    def arrival_args(p: argparse.ArgumentParser) -> None:
+        from .core import profile_names
+
+        p.add_argument("--arrivals", action="store_true",
+                       help="enable the temporal load model: users log "
+                            "in at drawn offsets and pause between "
+                            "sessions instead of starting together at "
+                            "clock 0 (same op stream, shifted timeline)")
+        p.add_argument("--profile", choices=profile_names(), default=None,
+                       help="diurnal intensity profile shaping the login "
+                            "offsets (implies --arrivals)")
+
     sim = sub.add_parser("simulate", help="run a simulated experiment")
     common(sim)
     sim.add_argument("--backend", choices=RUN_BACKENDS,
@@ -97,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "identical op stream with analytic service "
                           "times, no engine; fast-columnar does the same "
                           "through vectorized array batches")
+    arrival_args(sim)
 
     real = sub.add_parser("real", help="drive a real directory")
     common(real)
@@ -145,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "stream, many times the ops/s)")
     fleet_run.add_argument("--oplog", metavar="PATH", default=None,
                            help="also collect and write the merged usage log")
+    arrival_args(fleet_run)
+    fleet_run.add_argument("--window-us", type=float, default=None,
+                           help="offered-load window width (µs; default: "
+                                "1 hour when arrivals are enabled)")
 
     fleet_sub.add_parser("scenarios", help="list the scenario library")
 
@@ -238,6 +255,18 @@ def _spec_from(args: argparse.Namespace):
     )
 
 
+def _arrivals_from(args: argparse.Namespace):
+    """The ``--arrivals``/``--profile`` flags as an ArrivalModel (or None)."""
+    if not (args.arrivals or args.profile):
+        return None
+    from .core import DEFAULT_ARRIVALS, get_profile
+
+    model = DEFAULT_ARRIVALS
+    if args.profile:
+        model = model.with_profile(get_profile(args.profile))
+    return model
+
+
 def _print_summary(result) -> None:
     analyzer = result.analyzer
     resp = analyzer.response_time_stats().summary()
@@ -260,7 +289,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "simulate":
         result = WorkloadGenerator(_spec_from(args)).run_simulated(
-            sessions_per_user=args.sessions, backend=args.backend
+            sessions_per_user=args.sessions, backend=args.backend,
+            arrivals=_arrivals_from(args),
         )
         _print_summary(result)
     elif args.command == "real":
@@ -348,6 +378,9 @@ def _main_fleet(args: argparse.Namespace) -> int:
             backend=args.backend,
             total_files=args.files,
             collect_ops=args.oplog is not None,
+            use_arrivals=args.arrivals,
+            profile=args.profile,
+            window_us=args.window_us,
         )
         result = run_fleet(config)
     except (ScenarioError, SpecError) as exc:

@@ -46,6 +46,7 @@ from typing import Sequence
 import numpy as np
 
 from ..nfs import NfsTiming, SUN_NFS_TIMING
+from .arrivals import SessionSchedule
 from .opbatch import (
     DATA_KIND_CODES,
     KIND_CREAT,
@@ -76,11 +77,36 @@ __all__ = [
 
 @dataclass(frozen=True)
 class UserSessions:
-    """One user's work order: a synthesizer plus a session count."""
+    """One user's work order: a synthesizer plus a session count.
+
+    ``schedule`` (from an :class:`~repro.core.arrivals.ArrivalModel`)
+    gives the user a first-login offset and per-session gaps; without
+    one the user starts at clock 0 and ``inter_session_us`` separates
+    sessions uniformly (the pre-arrivals behaviour).
+    """
 
     generator: SessionGenerator
     sessions: int
     inter_session_us: float = 0.0
+    schedule: SessionSchedule | None = None
+
+    @property
+    def offset_us(self) -> float:
+        """The user's first-login offset (0.0 without a schedule)."""
+        return self.schedule.offset_us if self.schedule is not None else 0.0
+
+    def gap_after_us(self, session_id: int) -> float:
+        """The pause after ``session_id`` ends (logout→next login).
+
+        Gaps *separate* sessions: the one after the final session is
+        never applied (0.0), so a run's duration ends with work, not
+        with an idle logout tail.
+        """
+        if session_id + 1 >= self.sessions:
+            return 0.0
+        if self.schedule is not None:
+            return self.schedule.gap_after(session_id)
+        return self.inter_session_us
 
 
 # Kind-code → bool lookup tables (indexing an int8 column through these
@@ -108,11 +134,12 @@ class ExecutionBackend(abc.ABC):
         """Run every task, record into ``log``, return the duration (µs).
 
         ``time_limit_us`` truncates the run: the DES stops the shared
-        engine clock at the limit, the fast backend stops each user's
-        own clock (users are independent there).  A session cut off by
-        the limit records its executed ops but no session summary —
-        matching the DES, where an interrupted process never reaches its
-        accounting epilogue.
+        engine clock at the limit, the fast backends stop each user's
+        own clock (users are independent there).  The boundary rule is
+        the same everywhere: **an op starting exactly at the limit is
+        excluded** (``start >= limit`` drops the op).  A session cut off
+        by the limit records its executed ops but no session summary —
+        an interrupted user never reaches its accounting epilogue.
         """
 
 
@@ -141,14 +168,21 @@ class DesBackend(ExecutionBackend):
         processes = [
             self.engine.spawn(
                 simulated_user_process(
-                    self.engine, self.client, task.generator, task.sessions,
-                    log, inter_session_us=task.inter_session_us,
+                    self.engine, self.client, task, log,
+                    deadline_us=time_limit_us,
                 ),
                 name=f"user-{task.generator.user_id}",
             )
             for task in tasks
         ]
-        self.engine.run_until_processes_finish(processes, limit=time_limit_us)
+        # Truncation, not a runaway guard: the engine stops the shared
+        # clock at the limit and leaves later events unprocessed.  User
+        # processes police the op-start boundary themselves (start >=
+        # limit drops the op); an op still in flight at the limit never
+        # completes, so it is never recorded.  Deadlocks still raise.
+        self.engine.run_until_processes_finish(
+            processes, limit=time_limit_us, truncate=True
+        )
         return self.engine.now
 
 
@@ -260,7 +294,7 @@ class FastReplayBackend(ExecutionBackend):
         type_name = generator.user_type.name
         response_us = self.model.response_us
         record_op = log.record_op
-        clock = 0.0
+        clock = task.offset_us
         for session_id in range(task.sessions):
             if limit is not None and clock >= limit:
                 break
@@ -308,8 +342,9 @@ class FastReplayBackend(ExecutionBackend):
                 clock = limit if limit is not None else clock
                 break
             log.record_session(accounting.finish(clock))
-            if task.inter_session_us > 0:
-                clock += task.inter_session_us
+            gap = task.gap_after_us(session_id)
+            if gap > 0:
+                clock += gap
         return clock if limit is None else min(clock, limit)
 
 
@@ -343,7 +378,7 @@ class ColumnarReplayBackend(FastReplayBackend):
         user_id = generator.user_id
         type_name = generator.user_type.name
         record_batch = getattr(log, "record_batch", None)
-        clock = 0.0
+        clock = task.offset_us
         for session_id in range(task.sessions):
             if limit is not None and clock >= limit:
                 break
@@ -396,8 +431,9 @@ class ColumnarReplayBackend(FastReplayBackend):
                                       clock, end_clock)
             )
             clock = end_clock
-            if task.inter_session_us > 0:
-                clock += task.inter_session_us
+            gap = task.gap_after_us(session_id)
+            if gap > 0:
+                clock += gap
         return clock if limit is None else min(clock, limit)
 
     @staticmethod

@@ -41,6 +41,7 @@ from ..nfs import (
 from ..sim import Engine
 from ..vfs import FileSystemAPI, LocalFileSystem, MemoryFileSystem
 from .analyzer import UsageAnalyzer
+from .arrivals import ArrivalModel
 from .execution import (
     ColumnarReplayBackend,
     DesBackend,
@@ -324,6 +325,7 @@ class WorkloadGenerator:
         time_limit_us: float | None = None,
         user_ids: Iterable[int] | None = None,
         log: OpSink | None = None,
+        arrivals: ArrivalModel | None = None,
     ) -> RunResult:
         """Full experiment: plan, synthesize, then execute on a backend.
 
@@ -346,6 +348,14 @@ class WorkloadGenerator:
         materialised on the backend store.  ``log`` lets the caller
         supply the :class:`~repro.core.oplog.OpSink` records go to; note
         :attr:`RunResult.analyzer` needs a real ``UsageLog``.
+
+        ``arrivals`` attaches a temporal load model: each user's
+        first-login offset and inter-session gaps are resolved up front
+        (one :class:`~repro.core.arrivals.SessionSchedule` per user,
+        from the user's own named streams) and handed to the backend —
+        the DES delays the user process, the fast paths seed the user's
+        clock.  The op stream is byte-identical with or without
+        arrivals; only the timeline moves.
         """
         if sessions_per_user < 1:
             raise ValueError("sessions_per_user must be >= 1")
@@ -382,9 +392,17 @@ class WorkloadGenerator:
             access_pattern=access_pattern,
             phase_model_factory=phase_model_factory,
         )
+        tasks = [
+            UserSessions(
+                g, sessions_per_user,
+                schedule=(arrivals.schedule(self.streams, g.user_id,
+                                            sessions_per_user)
+                          if arrivals is not None else None),
+            )
+            for g in generators
+        ]
         duration_us = executor.execute(
-            [UserSessions(g, sessions_per_user) for g in generators],
-            log, time_limit_us=time_limit_us,
+            tasks, log, time_limit_us=time_limit_us,
         )
         return RunResult(
             spec=self.spec,

@@ -45,16 +45,15 @@ def partition_user_ids(n_users: int, n_shards: int) -> tuple[tuple[int, ...], ..
     type assignment from :meth:`WorkloadSpec.assign_user_types` lists each
     type's users contiguously, and a contiguous split would give whole
     shards a single user type.  Shards are disjoint, cover the population,
-    and differ in size by at most one user.
+    and differ in size by at most one user.  ``n_shards > n_users`` is
+    allowed: the surplus shards are empty (they run zero users and
+    contribute a zero tally), which keeps fleet topologies valid at any
+    scale without special-casing small populations.
     """
     if n_users < 1:
         raise SpecError(f"n_users must be >= 1, got {n_users}")
     if n_shards < 1:
         raise SpecError(f"n_shards must be >= 1, got {n_shards}")
-    if n_shards > n_users:
-        raise SpecError(
-            f"cannot split {n_users} users into {n_shards} shards"
-        )
     return tuple(
         tuple(range(shard, n_users, n_shards)) for shard in range(n_shards)
     )

@@ -22,7 +22,10 @@ The document layout::
                     "access_per_byte": {...}, "file_count": {...},
                     "file_size": {...}}, ...]}, ...
       ],
-      "meta": {...}   # free-form provenance (source trace, method, ...)
+      "meta": {...},  # free-form provenance (source trace, method, ...)
+      "arrivals": {   # optional temporal-load model (see repro.core.arrivals)
+        "first_login": {...}, "session_gap": {...}, "profile": {...}|null
+      }
     }
 
 Distribution payloads use :mod:`repro.distributions.serialize`; every
@@ -36,6 +39,12 @@ import json
 from typing import Any, TextIO
 
 from ..distributions import DistributionError, from_jsonable, to_jsonable
+from .arrivals import (
+    ArrivalError,
+    ArrivalModel,
+    arrival_model_from_jsonable,
+    arrival_model_to_jsonable,
+)
 from .spec import (
     FileCategory,
     FileCategorySpec,
@@ -54,16 +63,23 @@ __all__ = [
     "dumps_spec",
     "load_spec",
     "loads_spec",
+    "parse_spec_document",
     "spec_meta",
+    "spec_arrivals",
 ]
 
 SPEC_FORMAT = "repro.workload-spec"
 SPEC_VERSION = 1
 
 
-def spec_to_jsonable(spec: WorkloadSpec, meta: dict | None = None) -> dict[str, Any]:
-    """Encode ``spec`` (plus optional provenance ``meta``) as a JSON-able dict."""
-    return {
+def spec_to_jsonable(
+    spec: WorkloadSpec,
+    meta: dict | None = None,
+    arrivals: "ArrivalModel | None" = None,
+) -> dict[str, Any]:
+    """Encode ``spec`` (plus optional provenance ``meta`` and an optional
+    temporal-load ``arrivals`` block) as a JSON-able dict."""
+    document = {
         "format": SPEC_FORMAT,
         "version": SPEC_VERSION,
         "total_files": spec.total_files,
@@ -99,6 +115,9 @@ def spec_to_jsonable(spec: WorkloadSpec, meta: dict | None = None) -> dict[str, 
         ],
         "meta": dict(meta or {}),
     }
+    if arrivals is not None:
+        document["arrivals"] = arrival_model_to_jsonable(arrivals)
+    return document
 
 
 def _require(payload: dict, key: str, context: str):
@@ -179,22 +198,57 @@ def spec_meta(payload: dict[str, Any]) -> dict:
     return meta if isinstance(meta, dict) else {}
 
 
-def dumps_spec(spec: WorkloadSpec, meta: dict | None = None, indent: int = 2) -> str:
+def spec_arrivals(payload: dict[str, Any]) -> "ArrivalModel | None":
+    """The optional ``arrivals`` block, decoded (None when absent)."""
+    block = payload.get("arrivals") if isinstance(payload, dict) else None
+    if not block:
+        return None
+    try:
+        return arrival_model_from_jsonable(block)
+    except (ArrivalError, DistributionError) as exc:
+        raise SpecError(f"spec JSON: bad arrivals block: {exc}") from exc
+
+
+def dumps_spec(
+    spec: WorkloadSpec,
+    meta: dict | None = None,
+    indent: int = 2,
+    arrivals: "ArrivalModel | None" = None,
+) -> str:
     """Serialise to a JSON string."""
-    return json.dumps(spec_to_jsonable(spec, meta), indent=indent, sort_keys=True)
+    return json.dumps(spec_to_jsonable(spec, meta, arrivals=arrivals),
+                      indent=indent, sort_keys=True)
 
 
-def dump_spec(spec: WorkloadSpec, stream: TextIO, meta: dict | None = None) -> None:
+def dump_spec(
+    spec: WorkloadSpec,
+    stream: TextIO,
+    meta: dict | None = None,
+    arrivals: "ArrivalModel | None" = None,
+) -> None:
     """Write the JSON document to a text stream."""
-    stream.write(dumps_spec(spec, meta) + "\n")
+    stream.write(dumps_spec(spec, meta, arrivals=arrivals) + "\n")
+
+
+def parse_spec_document(text: str) -> Any:
+    """JSON-parse a spec document, wrapping parse errors in
+    :class:`~repro.core.spec.SpecError`.
+
+    The single entry point for turning artefact text into a payload:
+    callers that need more than ``(spec, meta)`` — e.g. the scenario
+    registry, which also decodes the ``arrivals`` block — parse once
+    here and feed the payload to :func:`spec_from_jsonable` /
+    :func:`spec_meta` / :func:`spec_arrivals`.
+    """
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"spec JSON: not valid JSON: {exc}") from exc
 
 
 def loads_spec(text: str) -> tuple[WorkloadSpec, dict]:
     """Parse a JSON string; returns ``(spec, meta)``."""
-    try:
-        payload = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise SpecError(f"spec JSON: not valid JSON: {exc}") from exc
+    payload = parse_spec_document(text)
     return spec_from_jsonable(payload), spec_meta(payload)
 
 

@@ -344,7 +344,10 @@ class SessionGenerator:
     run alongside it, which worker process it runs in, or which execution
     backend replays it — this is what makes sharded fleet runs aggregate
     bit-for-bit to the single-process result and what lets the fast
-    backend reproduce the DES op stream exactly.
+    backend reproduce the DES op stream exactly.  The temporal load
+    layer (:mod:`repro.core.arrivals`) draws from the *same* family
+    under its own names (``first-login``, ``session-gap``), so enabling
+    arrivals moves the timeline without touching any synthesis stream.
 
     The per-quantity streams also make block pre-drawing safe: a
     :class:`~repro.distributions.BatchSampler` refills from its own

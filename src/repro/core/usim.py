@@ -53,22 +53,36 @@ def _payload(nbytes: int) -> bytes:
 def simulated_user_process(
     engine: Engine,
     client,
-    generator: SessionGenerator,
-    sessions: int,
+    task,
     log: OpSink,
-    inter_session_us: float = 0.0,
+    deadline_us: float | None = None,
 ):
-    """A DES process: one virtual user running ``sessions`` login sessions.
+    """A DES process: one virtual user running its login sessions.
 
     ``client`` is any simulated file-system client
     (:class:`~repro.nfs.NfsClient`, local-disk, AFS-like).  Response time
     of every call is the engine-clock delta around it; think operations
     become plain delays.  ``log`` is any :class:`~repro.core.oplog.OpSink`
     — a full :class:`~repro.core.oplog.UsageLog` or an online accumulator.
+
+    ``task`` is the user's :class:`~repro.core.execution.UserSessions`
+    work order; its ``offset_us``/``gap_after_us`` encode the arrival
+    timing rules (first-login delay, gaps between sessions, no trailing
+    gap) shared verbatim with the fast backends.  ``deadline_us``
+    applies the shared truncation rule: an op whose start clock is at or
+    past the deadline is not issued, and an interrupted session records
+    no summary.
     """
+    generator: SessionGenerator = task.generator
+    sessions: int = task.sessions
     user_id = generator.user_id
     type_name = generator.user_type.name
+    offset = task.offset_us
+    if offset > 0:
+        yield Delay(offset)
     for session_id in range(sessions):
+        if deadline_us is not None and engine.now >= deadline_us:
+            return
         accounting = SessionAccounting(user_id, type_name, session_id,
                                        engine.now)
         fd_by_plan: dict[int, int] = {}
@@ -78,6 +92,8 @@ def simulated_user_process(
                 if op.size > 0:
                     yield Delay(op.size)
                 continue
+            if deadline_us is not None and engine.now >= deadline_us:
+                return
             started = engine.now
             observed = None
             if op.kind in ("open", "creat"):
@@ -121,8 +137,9 @@ def simulated_user_process(
                 )
             )
         log.record_session(accounting.finish(engine.now))
-        if inter_session_us > 0:
-            yield Delay(inter_session_us)
+        gap = task.gap_after_us(session_id)
+        if gap > 0:
+            yield Delay(gap)
 
 
 class RealRunner:

@@ -44,6 +44,13 @@ class WorkloadTally:
     equality between two tallies is bitwise, and merging is plain
     addition — associative and commutative, hence independent of shard
     count and completion order.
+
+    ``window_us`` (optional) turns on temporal bucketing: every op also
+    counts into ``ops_by_window[int(start_us // window_us)]``, the
+    offered-load curve of the run.  On the engine-free backends op start
+    clocks are per-user and shard-independent, so the windowed counts
+    share the shard-invariance guarantee; on the DES they depend on
+    per-site queueing, like all timing.
     """
 
     sessions: int = 0
@@ -55,6 +62,8 @@ class WorkloadTally:
     files_referenced: int = 0
     file_bytes_referenced: int = 0
     sessions_by_type: dict[str, int] = field(default_factory=dict)
+    window_us: float | None = None
+    ops_by_window: dict[int, int] = field(default_factory=dict)
 
     # -- OpSink-shaped recording ---------------------------------------------
 
@@ -71,6 +80,11 @@ class WorkloadTally:
             key = record.category_key
             self.bytes_by_category[key] = (
                 self.bytes_by_category.get(key, 0) + record.size
+            )
+        if self.window_us is not None:
+            bucket = int(record.start_us // self.window_us)
+            self.ops_by_window[bucket] = (
+                self.ops_by_window.get(bucket, 0) + 1
             )
 
     def record_session(self, record: SessionRecord) -> None:
@@ -121,18 +135,38 @@ class WorkloadTally:
                     by_category[key] = (
                         by_category.get(key, 0) + int(per_category[i])
                     )
+        if self.window_us is not None:
+            # float floor-division then int cast: the same IEEE floor as
+            # the scalar ``int(start_us // window_us)`` per element.
+            buckets = (batch.start_us // self.window_us).astype(np.int64)
+            uniq, per_bucket = np.unique(buckets, return_counts=True)
+            by_window = self.ops_by_window
+            for bucket, count in zip(uniq.tolist(), per_bucket.tolist()):
+                by_window[bucket] = by_window.get(bucket, 0) + count
 
     # -- merging / reporting ---------------------------------------------------
 
     def _accumulate(self, other: "WorkloadTally") -> None:
         """Add ``other`` into self, in place (no dict rebuilding)."""
+        if self.window_us != other.window_us:
+            # A window may only cross a side that has folded no ops yet:
+            # ops recorded without a window were never bucketed, so
+            # adopting one silently would under-report the curve.
+            if self.window_us is None and self.operations == 0:
+                self.window_us = other.window_us
+            elif not (other.window_us is None and other.operations == 0):
+                raise ValueError(
+                    f"cannot merge tallies with different windows: "
+                    f"{self.window_us} vs {other.window_us}"
+                )
         self.sessions += other.sessions
         self.operations += other.operations
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         self.files_referenced += other.files_referenced
         self.file_bytes_referenced += other.file_bytes_referenced
-        for attr in ("ops_by_kind", "bytes_by_category", "sessions_by_type"):
+        for attr in ("ops_by_kind", "bytes_by_category", "sessions_by_type",
+                     "ops_by_window"):
             mine = getattr(self, attr)
             for key, value in getattr(other, attr).items():
                 mine[key] = mine.get(key, 0) + value
@@ -159,17 +193,37 @@ class WorkloadTally:
         return merged
 
     @classmethod
-    def from_log(cls, log: UsageLog) -> "WorkloadTally":
+    def from_log(cls, log: UsageLog,
+                 window_us: float | None = None) -> "WorkloadTally":
         """Replay an archived log into a tally."""
-        tally = cls()
+        tally = cls(window_us=window_us)
         for op in log.operations:
             tally.record_op(op)
         for session in log.sessions:
             tally.record_session(session)
         return tally
 
+    def offered_load(self) -> list[tuple[float, int, float]]:
+        """The windowed ops curve: ``(window start µs, ops, ops/s)`` rows.
+
+        Empty unless the tally was built with a ``window_us``.
+        """
+        if self.window_us is None:
+            return []
+        seconds = self.window_us / 1e6
+        return [
+            (bucket * self.window_us, count, count / seconds)
+            for bucket, count in sorted(self.ops_by_window.items())
+        ]
+
     def as_kv(self) -> dict[str, int]:
-        """Flat, deterministically ordered dict (report and test surface)."""
+        """Flat, deterministically ordered dict (report and test surface).
+
+        Contains only the *content* counts, which are shard- and
+        backend-invariant.  The windowed offered-load buckets stay out:
+        they are keyed by op start clock, which on the DES depends on
+        per-site queueing — report them via :meth:`offered_load`.
+        """
         kv: dict[str, int] = {
             "sessions": self.sessions,
             "operations": self.operations,
@@ -196,8 +250,9 @@ class ShardAccumulator:
     operation count, so fleet runs default to stats-only).
     """
 
-    def __init__(self, collect_ops: bool = False):
-        self.tally = WorkloadTally()
+    def __init__(self, collect_ops: bool = False,
+                 window_us: float | None = None):
+        self.tally = WorkloadTally(window_us=window_us)
         self.response_us = RunningStats()
         self.log: UsageLog | None = UsageLog() if collect_ops else None
 

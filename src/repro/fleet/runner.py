@@ -33,6 +33,13 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from ..core.arrivals import (
+    DEFAULT_ARRIVALS,
+    HOUR_US,
+    ArrivalError,
+    ArrivalModel,
+    get_profile,
+)
 from ..core.generator import RUN_BACKENDS, WorkloadGenerator
 from ..core.oplog import UsageLog
 from ..core.spec import SpecError, WorkloadSpec
@@ -58,6 +65,16 @@ class FleetConfig:
     settings (scenario configs) or to ``sequential``/off (explicit-spec
     configs); set them to override either way.
 
+    Temporal load: ``use_arrivals=True`` enables the scenario's
+    :class:`~repro.core.arrivals.ArrivalModel` (or the default one);
+    ``arrival_model`` supplies an explicit model; ``profile`` names a
+    registered load profile and overrides the model's (implying
+    arrivals).  With arrivals on, ops are also bucketed into
+    ``window_us``-wide time windows (one hour unless set explicitly)
+    so the merged tally carries the offered-load curve.  Arrival schedules are per-user
+    draws from the root seed, so the curve is shard-count-invariant on
+    the engine-free backends.
+
     Caveat: ``time_limit_us`` truncates each shard at its *own* simulated
     clock, and simulated time depends on per-site queueing — so with a
     time limit the merged aggregate is **not** shard-count-invariant.
@@ -78,6 +95,10 @@ class FleetConfig:
     time_limit_us: float | None = None
     access_pattern: str | None = None
     use_phase_model: bool | None = None
+    use_arrivals: bool = False
+    arrival_model: ArrivalModel | None = None
+    profile: str | None = None
+    window_us: float | None = None
 
     def __post_init__(self):
         if (self.scenario is None) == (self.spec is None):
@@ -99,6 +120,21 @@ class FleetConfig:
             raise SpecError(f"workers must be >= 1, got {self.workers}")
         if self.sessions_per_user is not None and self.sessions_per_user < 1:
             raise SpecError("sessions_per_user must be >= 1")
+        if self.profile is not None:
+            try:  # resolve eagerly: fail before any worker starts
+                get_profile(self.profile)
+            except ArrivalError as exc:
+                raise SpecError(str(exc)) from None
+        if self.window_us is not None and not self.window_us > 0:
+            raise SpecError(
+                f"window_us must be > 0, got {self.window_us}"
+            )
+
+    @property
+    def arrivals_enabled(self) -> bool:
+        """Whether this config runs with a temporal load model."""
+        return (self.use_arrivals or self.arrival_model is not None
+                or self.profile is not None)
 
     @property
     def n_users(self) -> int:
@@ -183,6 +219,29 @@ class _ShardTask:
     sessions_per_user: int
     collect_ops: bool
     time_limit_us: float | None
+    arrival_model: ArrivalModel | None = None
+    window_us: float | None = None
+
+
+def _resolve_arrivals(config: FleetConfig,
+                      scenario_model: "ArrivalModel | None"):
+    """The run's ``(arrival model, window)``, resolved in the coordinator.
+
+    Precedence: an explicit ``config.arrival_model`` wins; otherwise an
+    enabled run takes the scenario's model, falling back to
+    ``DEFAULT_ARRIVALS``.  A ``config.profile`` name then overrides the
+    model's profile.  The window defaults to one hour when arrivals are
+    on and no explicit ``window_us`` is given.
+    """
+    model = config.arrival_model
+    if model is None and config.arrivals_enabled:
+        model = scenario_model or DEFAULT_ARRIVALS
+    if model is not None and config.profile is not None:
+        model = model.with_profile(get_profile(config.profile))
+    window_us = config.window_us
+    if window_us is None and model is not None:
+        window_us = HOUR_US
+    return model, window_us
 
 
 def _resolve_run_inputs(config: FleetConfig):
@@ -192,6 +251,7 @@ def _resolve_run_inputs(config: FleetConfig):
         pattern = config.access_pattern or "sequential"
         phases = bool(config.use_phase_model)
         sessions = config.sessions_per_user or 1
+        scenario_model = None
     else:
         from ..scenarios import get_scenario  # deferred: scenarios import core
 
@@ -203,14 +263,17 @@ def _resolve_run_inputs(config: FleetConfig):
         phases = (scenario.use_phase_model if config.use_phase_model is None
                   else config.use_phase_model)
         sessions = config.sessions_per_user or scenario.default_sessions
-    return spec, pattern, phases, sessions
+        scenario_model = scenario.arrival_model
+    model, window_us = _resolve_arrivals(config, scenario_model)
+    return spec, pattern, phases, sessions, model, window_us
 
 
 def _run_shard(task: _ShardTask) -> ShardOutcome:
     """Execute one shard (runs inside a worker process or in-process)."""
     plan = task.plan
     started = time.perf_counter()
-    sink = ShardAccumulator(collect_ops=task.collect_ops)
+    sink = ShardAccumulator(collect_ops=task.collect_ops,
+                            window_us=task.window_us)
     generator = WorkloadGenerator(task.spec)
     result = generator.run_simulated(
         sessions_per_user=task.sessions_per_user,
@@ -220,6 +283,7 @@ def _run_shard(task: _ShardTask) -> ShardOutcome:
         time_limit_us=task.time_limit_us,
         user_ids=plan.user_ids,
         log=sink,
+        arrivals=task.arrival_model,
     )
     return ShardOutcome(
         shard_index=plan.shard_index,
@@ -255,7 +319,9 @@ def run_fleet(config: FleetConfig) -> FleetResult:
     """
     # Resolve the scenario/spec once, before spawning anything: workers
     # receive the built spec, never a registry name.
-    spec, pattern, phases, sessions = _resolve_run_inputs(config)
+    spec, pattern, phases, sessions, model, window_us = _resolve_run_inputs(
+        config
+    )
     if config.spec is None and spec.n_users != config.users:
         raise SpecError(
             f"scenario {config.scenario!r} built {spec.n_users} users, "
@@ -272,6 +338,8 @@ def run_fleet(config: FleetConfig) -> FleetResult:
             sessions_per_user=sessions,
             collect_ops=config.collect_ops,
             time_limit_us=config.time_limit_us,
+            arrival_model=model,
+            window_us=window_us,
         )
         for plan in plans
     ]

@@ -6,7 +6,9 @@ up front in the coordinating process:
 
 * user ids are dealt round-robin
   (:func:`repro.core.spec.partition_user_ids`), so every shard gets a
-  representative slice of the user-type mix;
+  representative slice of the user-type mix; with more shards than
+  users the surplus shards are empty (zero users, zero tally) and merge
+  harmlessly;
 * every shard gets a *derived* seed spawned from the root seed via
   :meth:`repro.distributions.RandomStreams.spawn_seed` — shard-local
   randomness (e.g. future fault injection, arrival jitter) must draw

@@ -32,7 +32,11 @@ from .figures import (
     table_5_3,
     table_5_4,
 )
-from .fleet import fleet_aggregate_block, fleet_report
+from .fleet import (
+    fleet_aggregate_block,
+    fleet_offered_load_block,
+    fleet_report,
+)
 from .report import format_kv, format_series, format_table
 
 __all__ = [
@@ -62,6 +66,7 @@ __all__ = [
     "table_5_3",
     "table_5_4",
     "fleet_aggregate_block",
+    "fleet_offered_load_block",
     "fleet_report",
     "format_kv",
     "format_series",

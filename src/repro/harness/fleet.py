@@ -16,7 +16,8 @@ from __future__ import annotations
 from ..fleet import FleetResult
 from .report import format_kv, format_table
 
-__all__ = ["fleet_aggregate_block", "fleet_report"]
+__all__ = ["fleet_aggregate_block", "fleet_offered_load_block",
+           "fleet_report"]
 
 
 def fleet_aggregate_block(result: FleetResult) -> str:
@@ -24,6 +25,26 @@ def fleet_aggregate_block(result: FleetResult) -> str:
     return format_kv(
         result.aggregate_kv(),
         title="Aggregate workload statistics (shard-invariant)",
+    )
+
+
+def fleet_offered_load_block(result: FleetResult) -> str | None:
+    """The windowed ops/s curve (None when the run had no time windows).
+
+    Window starts print in hours because the diurnal profiles live on a
+    day-long axis; the rate column is plain ops per second of simulated
+    time within the window.
+    """
+    rows = result.tally.offered_load()
+    if not rows:
+        return None
+    return format_table(
+        ["window start (h)", "ops", "ops/s"],
+        [
+            (start_us / 3_600e6, ops, rate)
+            for start_us, ops, rate in rows
+        ],
+        title="Offered load (windowed ops over simulated time)",
     )
 
 
@@ -59,6 +80,9 @@ def fleet_report(result: FleetResult) -> str:
     timing = format_kv(
         result.timing_kv(), title="Timing (topology-dependent)"
     )
-    return "\n\n".join(
-        [header, fleet_aggregate_block(result), shard_table, timing]
-    )
+    blocks = [header, fleet_aggregate_block(result)]
+    offered = fleet_offered_load_block(result)
+    if offered is not None:
+        blocks.append(offered)
+    blocks += [shard_table, timing]
+    return "\n\n".join(blocks)

@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
+from .core.arrivals import ArrivalModel, get_profile
 from .core.datasets import paper_workload_spec
 from .core.spec import (
     FileCategory,
@@ -79,6 +80,9 @@ class Scenario:
     ``seed == seed``; when ``total_files`` is None the builder picks a
     size that scales with the population.  ``access_pattern`` and
     ``use_phase_model`` select the section 6.2 extensions the runs use.
+    ``arrival_model`` is the scenario's temporal load model — the
+    diurnal/arrival shape a ``fleet run --arrivals`` applies (opt-in;
+    it moves session timing only, never the op stream).
     """
 
     name: str
@@ -88,6 +92,7 @@ class Scenario:
     use_phase_model: bool = False
     default_sessions: int = 1
     tags: tuple[str, ...] = field(default=())
+    arrival_model: "ArrivalModel | None" = None
 
     def __post_init__(self):
         if self.access_pattern not in ("sequential", "random"):
@@ -153,15 +158,28 @@ def register_spec_file(path: str, name: str | None = None,
                        replace: bool = False) -> Scenario:
     """Load a spec JSON artefact (``trace calibrate`` output) and register it.
 
-    ``name`` defaults to the file's base name without extensions.
-    Returns the registered :class:`Scenario`.
+    ``name`` defaults to the file's base name without extensions.  A
+    document carrying an ``"arrivals"`` block (``dump_spec(...,
+    arrivals=model)``) keeps its temporal shape: the decoded
+    :class:`~repro.core.arrivals.ArrivalModel` becomes the scenario's
+    ``arrival_model``, so ``fleet run --scenario <name> --arrivals``
+    replays the saved timing rather than the default.  Returns the
+    registered :class:`Scenario`.
     """
     import os
 
-    from .core.specjson import loads_spec
+    from .core.specjson import (
+        parse_spec_document,
+        spec_arrivals,
+        spec_from_jsonable,
+        spec_meta,
+    )
 
     with open(path, "r", encoding="utf-8") as stream:
-        spec, meta = loads_spec(stream.read())
+        payload = parse_spec_document(stream.read())
+    spec = spec_from_jsonable(payload)
+    meta = spec_meta(payload)
+    arrivals = spec_arrivals(payload)
     if name is None:
         name = os.path.basename(path).split(".")[0]
     source = meta.get("calibrated_from") or os.path.basename(path)
@@ -169,6 +187,7 @@ def register_spec_file(path: str, name: str | None = None,
         name, spec,
         description=f"Calibrated from {source}",
         tags=("calibrated",),
+        arrival_model=arrivals,
     )
     return register_scenario(scenario, replace=replace)
 
@@ -383,6 +402,8 @@ register_scenario(Scenario(
     description="Campus population, 70% heavy / 30% light I/O users.",
     build=_mixed_campus,
     tags=("paper", "mixed"),
+    # Campus users keep office hours: the 9-to-5 double hump.
+    arrival_model=ArrivalModel(profile=get_profile("office-hours")),
 ))
 register_scenario(Scenario(
     name="dev-team",
@@ -390,6 +411,7 @@ register_scenario(Scenario(
                 "(read heavy), a zero-think build bot.",
     build=_dev_team,
     tags=("custom",),
+    arrival_model=ArrivalModel(profile=get_profile("office-hours")),
 ))
 register_scenario(Scenario(
     name="batch-heavy",
@@ -397,6 +419,8 @@ register_scenario(Scenario(
                 "the server.",
     build=_batch_heavy,
     tags=("custom", "throughput"),
+    # Batch jobs land in the overnight window.
+    arrival_model=ArrivalModel(profile=get_profile("nightly")),
 ))
 register_scenario(Scenario(
     name="database-random",
@@ -413,4 +437,5 @@ register_scenario(Scenario(
     build=_interactive_light,
     use_phase_model=True,
     tags=("custom", "phases"),
+    arrival_model=ArrivalModel(profile=get_profile("evening")),
 ))

@@ -151,10 +151,16 @@ class Engine:
         return self._now
 
     def run_until_processes_finish(self, processes: list[Process],
-                                   limit: float | None = None) -> float:
+                                   limit: float | None = None,
+                                   truncate: bool = False) -> float:
         """Run until every process in ``processes`` is done.
 
-        ``limit`` bounds runaway simulations; exceeding it raises.
+        ``limit`` bounds the clock: by default exceeding it raises (a
+        runaway guard); with ``truncate=True`` the engine instead stops
+        the clock *at* the limit and returns, leaving later events
+        unprocessed (workload truncation — unfinished processes simply
+        never resume).  A deadlock — no events pending while tracked
+        processes are still alive — raises in every mode.
         """
         while not all(p.done for p in processes):
             if not self._heap:
@@ -162,9 +168,13 @@ class Engine:
                 raise SimulationError(
                     f"deadlock: no events pending but processes alive: {stuck}"
                 )
-            event = heapq.heappop(self._heap)
+            event = self._heap[0]
             if limit is not None and event.time > limit:
+                if truncate:
+                    self._now = limit
+                    return self._now
                 raise SimulationError(f"simulation exceeded limit {limit}")
+            heapq.heappop(self._heap)
             self._now = event.time
             event.action()
         return self._now

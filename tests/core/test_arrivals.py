@@ -1,0 +1,192 @@
+"""Temporal load model: profiles, schedules, determinism, serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DAY_US,
+    DEFAULT_ARRIVALS,
+    HOUR_US,
+    ArrivalError,
+    ArrivalModel,
+    LoadProfile,
+    SessionSchedule,
+    arrival_model_from_jsonable,
+    arrival_model_to_jsonable,
+    dumps_spec,
+    get_profile,
+    paper_workload_spec,
+    profile_names,
+    spec_arrivals,
+)
+from repro.distributions import Constant, RandomStreams, ShiftedExponential
+import json
+
+
+class TestLoadProfile:
+    def test_uniform_warp_is_identity_scaled(self):
+        profile = get_profile("uniform")
+        for u in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert profile.warp(u) == pytest.approx(u * DAY_US)
+
+    def test_warp_is_monotone_and_in_range(self):
+        profile = get_profile("office-hours")
+        us = np.linspace(0.0, 1.0, 501)
+        ts = profile.warp_array(us)
+        assert np.all(np.diff(ts) >= 0)
+        assert ts[0] >= 0.0 and ts[-1] <= profile.period_us
+
+    def test_warp_mass_follows_weights(self):
+        # Inverse-CDF property: a segment with weight w receives a
+        # w*width / total share of a dense uniform grid.
+        profile = LoadProfile([0.0, 1.0, 2.0, 4.0], [1.0, 3.0, 0.0])
+        ts = profile.warp_array(np.linspace(0.0, 1.0, 4001))
+        in_first = np.mean(ts < 1.0)
+        in_second = np.mean((ts >= 1.0) & (ts < 2.0))
+        assert in_first == pytest.approx(0.25, abs=0.01)
+        assert in_second == pytest.approx(0.75, abs=0.01)
+
+    def test_zero_weight_segment_receives_no_arrivals(self):
+        profile = get_profile("nightly")  # hours 8..16 have weight 0
+        ts = profile.warp_array(np.linspace(0.0, 1.0, 2001))
+        hours = ts / HOUR_US
+        assert not np.any((hours > 8.001) & (hours < 16.0))
+
+    def test_intensity_at_normalised(self):
+        uniform = get_profile("uniform")
+        assert uniform.intensity_at(0.0) == pytest.approx(1.0)
+        assert uniform.intensity_at(3 * DAY_US + 1.0) == pytest.approx(1.0)
+        office = get_profile("office-hours")
+        assert office.intensity_at(10.5 * HOUR_US) > \
+            office.intensity_at(3.5 * HOUR_US)
+
+    def test_from_hourly_period(self):
+        profile = LoadProfile.from_hourly([1.0] * 24)
+        assert profile.period_us == DAY_US
+
+    @pytest.mark.parametrize("edges,weights", [
+        ([0.0, 1.0], []),                      # no segments
+        ([0.0, 1.0, 2.0], [1.0]),              # length mismatch
+        ([1.0, 2.0], [1.0]),                   # does not start at 0
+        ([0.0, 2.0, 1.0], [1.0, 1.0]),         # not increasing
+        ([0.0, 1.0, 2.0], [0.0, 0.0]),         # all-zero intensity
+        ([0.0, 1.0], [-1.0]),                  # negative weight
+        ([0.0, float("nan")], [1.0]),          # non-finite edge
+    ])
+    def test_rejects_invalid_shapes(self, edges, weights):
+        with pytest.raises(ArrivalError):
+            LoadProfile(edges, weights)
+
+    def test_registry(self):
+        assert set(profile_names()) >= {
+            "uniform", "office-hours", "nightly", "evening"
+        }
+        with pytest.raises(ArrivalError):
+            get_profile("no-such-profile")
+
+    def test_equality_and_jsonable_round_trip(self):
+        profile = get_profile("office-hours")
+        back = LoadProfile.from_jsonable(profile.to_jsonable())
+        assert back == profile
+        assert back.name == profile.name
+        assert back != get_profile("nightly")
+
+
+class TestSessionSchedule:
+    def test_gap_after_bounds(self):
+        schedule = SessionSchedule(5.0, (1.0, 2.0))
+        assert schedule.gap_after(0) == 1.0
+        assert schedule.gap_after(1) == 2.0
+        assert schedule.gap_after(2) == 0.0
+        assert schedule.gap_after(-1) == 0.0
+
+
+class TestArrivalModel:
+    def test_schedule_is_seed_deterministic(self):
+        model = DEFAULT_ARRIVALS
+        a = model.schedule(RandomStreams(42), user_id=3, sessions=4)
+        b = model.schedule(RandomStreams(42), user_id=3, sessions=4)
+        assert a == b
+        c = model.schedule(RandomStreams(43), user_id=3, sessions=4)
+        assert a != c
+
+    def test_schedules_differ_by_user(self):
+        streams = RandomStreams(7)
+        offsets = {
+            DEFAULT_ARRIVALS.schedule(streams, u, 2).offset_us
+            for u in range(8)
+        }
+        assert len(offsets) == 8  # continuous draws never collide
+
+    def test_schedule_lengths_and_clamping(self):
+        model = ArrivalModel(first_login=Constant(-10.0),
+                             session_gap=Constant(-5.0))
+        schedule = model.schedule(RandomStreams(0), 0, 3)
+        assert schedule.offset_us == 0.0  # negative draw clamped
+        # one gap per separator *between* sessions, none after the last
+        assert schedule.gaps_us == (0.0, 0.0)
+        assert model.schedule(RandomStreams(0), 0, 1).gaps_us == ()
+        assert model.schedule(RandomStreams(0), 0, 0).gaps_us == ()
+        with pytest.raises(ArrivalError):
+            model.schedule(RandomStreams(0), 0, -1)
+
+    def test_profile_constrains_offsets(self):
+        model = ArrivalModel(profile=get_profile("nightly"))
+        streams = RandomStreams(5)
+        for user in range(32):
+            offset = model.schedule(streams, user, 1).offset_us
+            hour = (offset % DAY_US) / HOUR_US
+            assert hour <= 8.01 or hour >= 16.0
+
+    def test_arrival_draws_do_not_perturb_synthesis_streams(self):
+        # The model forks the same user family under new stream names;
+        # a synthesis stream drawn before and after scheduling must not
+        # move.
+        streams = RandomStreams(11)
+        before = streams.fork("user-1").get("chunk").random(4).tolist()
+        DEFAULT_ARRIVALS.schedule(streams, 1, 5)
+        after = streams.fork("user-1").get("chunk").random(4).tolist()
+        assert before == after
+
+    def test_with_profile(self):
+        model = DEFAULT_ARRIVALS.with_profile(get_profile("evening"))
+        assert model.profile == get_profile("evening")
+        assert model.session_gap == DEFAULT_ARRIVALS.session_gap
+        assert model.with_profile(None).profile is None
+
+    def test_describe_mentions_profile(self):
+        model = ArrivalModel(profile=get_profile("office-hours"))
+        assert "office-hours" in model.describe()
+
+
+class TestArrivalSerialization:
+    def test_model_round_trip(self):
+        model = ArrivalModel(
+            first_login=ShiftedExponential(1234.5),
+            session_gap=ShiftedExponential(999.0, 10.0),
+            profile=get_profile("office-hours"),
+        )
+        back = arrival_model_from_jsonable(arrival_model_to_jsonable(model))
+        assert back == model
+
+    def test_model_round_trip_without_profile(self):
+        back = arrival_model_from_jsonable(
+            arrival_model_to_jsonable(DEFAULT_ARRIVALS)
+        )
+        assert back == DEFAULT_ARRIVALS
+
+    def test_bad_payloads_rejected(self):
+        with pytest.raises(ArrivalError):
+            arrival_model_from_jsonable([1, 2, 3])
+        with pytest.raises(ArrivalError):
+            arrival_model_from_jsonable({"first_login": {"kind": "constant",
+                                                         "value": 1.0}})
+
+    def test_spec_document_carries_arrivals_block(self):
+        spec = paper_workload_spec(n_users=2, total_files=100, seed=1)
+        model = ArrivalModel(profile=get_profile("nightly"))
+        text = dumps_spec(spec, meta={"note": "test"}, arrivals=model)
+        payload = json.loads(text)
+        assert spec_arrivals(payload) == model
+        # a document without the block decodes to None
+        assert spec_arrivals(json.loads(dumps_spec(spec))) is None

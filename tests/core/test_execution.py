@@ -165,6 +165,40 @@ class TestAnalyticServiceModel:
         # limit (the DES drops interrupted sessions the same way).
         assert all(s.end_us <= limit for s in cut.log.sessions)
 
+    def test_time_limit_truncates_des_runs(self):
+        # Regression: the DES used to raise SimulationError past the
+        # limit instead of truncating like the engine-free backends.
+        full = run("nfs")
+        limit = full.simulated_duration_us / 4
+        cut = run("nfs", time_limit_us=limit)
+        assert cut.simulated_duration_us <= limit
+        assert len(cut.log.operations) < len(full.log.operations)
+        assert all(o.start_us < limit for o in cut.log.operations)
+        assert all(s.end_us <= limit for s in cut.log.sessions)
+
+    @pytest.mark.parametrize("which", ["op-start", "session-end"])
+    def test_exact_boundary_limit_is_exclusive_across_backends(self, which):
+        # The pinned rule: an op starting exactly at the limit is
+        # excluded — `start >= limit` drops the op — and fast vs
+        # fast-columnar stay bit-identical at that exact boundary.
+        full = run("fast")
+        if which == "op-start":
+            limit = full.log.operations[len(full.log.operations) // 2].start_us
+        else:
+            limit = full.log.sessions[0].end_us
+        assert limit > 0.0
+        scalar = run("fast", time_limit_us=limit)
+        columnar = run("fast-columnar", time_limit_us=limit)
+        assert scalar.log.operations == columnar.log.operations
+        assert scalar.log.sessions == columnar.log.sessions
+        assert scalar.simulated_duration_us == columnar.simulated_duration_us
+        for result in (scalar, columnar):
+            assert all(o.start_us < limit for o in result.log.operations)
+            assert not any(o.start_us == limit for o in result.log.operations)
+        # the DES applies the same exclusive-boundary rule to its own clock
+        des = run("nfs", time_limit_us=limit)
+        assert all(o.start_us < limit for o in des.log.operations)
+
 
 class _ScriptedDistribution(Distribution):
     """Cycles through a fixed list of values (NaN/negatives included)."""

@@ -158,6 +158,44 @@ class TestRobustRoundTrip:
         )
         assert SessionRecord.from_line(record.to_line()) == record
 
+    @pytest.mark.parametrize("path", [
+        "/cr\ronly",
+        "/crlf\r\npair",
+        "/lone\\back",
+        "/double\\\\back",
+        "/back\\r-literal",      # backslash followed by the letter r
+        "/back\\t-literal",      # backslash followed by the letter t
+        "/back\\,comma",
+        "/mix\r\\\t\n,end\\",
+    ])
+    def test_carriage_return_and_backslash_survive_a_text_file(
+            self, tmp_path, path):
+        # The real failure mode for raw \r is a text-mode file: universal
+        # newline translation would mangle an unescaped carriage return
+        # on read, and an unescaped backslash would collide with the
+        # escape prefix.  Round-trip through an actual file, not just a
+        # string, to pin both.
+        log = UsageLog()
+        log.record_op(OpRecord(
+            user_id=0, user_type="heavy", session_id=0, op="open",
+            path=path, category_key="REG:USER:RDONLY", size=0,
+            start_us=0.0, response_us=1.0,
+        ))
+        log.record_session(SessionRecord(
+            user_id=0, user_type="heavy", session_id=0, start_us=0.0,
+            end_us=1.0, files_referenced=1, bytes_accessed=0,
+            file_bytes_referenced=0, categories=(path,),
+        ))
+        target = tmp_path / "hostile.log"
+        with open(target, "w", encoding="utf-8") as stream:
+            log.dump(stream)
+        with open(target, "r", encoding="utf-8") as stream:
+            restored = UsageLog.load(stream)
+        assert restored.operations == log.operations
+        assert restored.sessions == log.sessions
+        # exactly two physical lines: nothing unescaped split them
+        assert len(target.read_text(encoding="utf-8").splitlines()) == 2
+
     def test_full_log_round_trip_with_hostile_paths(self):
         log = UsageLog()
         log.record_session(session())

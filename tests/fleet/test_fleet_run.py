@@ -40,6 +40,21 @@ class TestShardInvariance:
         b = run_fleet(_config(seed=2)).aggregate_kv()
         assert a != b
 
+    def test_empty_shards_merge_invariantly(self):
+        # Regression: shards > users used to be rejected; now the extra
+        # shards run zero users and the merged aggregate must still be
+        # bit-for-bit the single-shard result.
+        single = run_fleet(_config(users=2, shards=1))
+        overly_sharded = run_fleet(_config(users=2, shards=5))
+        assert overly_sharded.aggregate_kv() == single.aggregate_kv()
+        assert [len(o.user_ids) for o in overly_sharded.outcomes] == \
+            [1, 1, 0, 0, 0]
+        empties = [o for o in overly_sharded.outcomes if not o.user_ids]
+        assert all(o.tally.operations == 0 for o in empties)
+        assert all(o.response_us.count == 0 for o in empties)
+        assert (overly_sharded.response_us.count
+                == single.response_us.count)
+
 
 class TestFleetMechanics:
     def test_outcomes_cover_population(self):
@@ -129,9 +144,13 @@ class TestFleetConfigValidation:
         with pytest.raises(SpecError):
             FleetConfig(scenario="mixed-campus", sessions_per_user=0)
 
-    def test_more_shards_than_users_fails_at_run(self):
+    def test_rejects_bad_profile_name(self):
         with pytest.raises(SpecError):
-            run_fleet(_config(users=2, shards=3))
+            FleetConfig(scenario="mixed-campus", profile="no-such-profile")
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(SpecError):
+            FleetConfig(scenario="mixed-campus", window_us=0.0)
 
     def test_workers_capped_by_shards(self):
         assert _config(shards=2, workers=16).effective_workers() == 2

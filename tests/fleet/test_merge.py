@@ -76,6 +76,92 @@ class TestWorkloadTally:
         assert keys.index("bytes[A]") < keys.index("bytes[Z]")
 
 
+class TestWindowedTally:
+    """Temporal bucketing: the offered-load curve inside the tally."""
+
+    def _record(self, tally):
+        for start in (0.0, 5.0, 9.999, 10.0, 25.0):
+            record = _op()
+            tally.record_op(OpRecord(**{**record.__dict__,
+                                        "start_us": start}))
+
+    def test_buckets_by_start_clock(self):
+        tally = WorkloadTally(window_us=10.0)
+        self._record(tally)
+        assert tally.ops_by_window == {0: 3, 1: 1, 2: 1}
+        # as_kv stays the backend-invariant content block: window
+        # buckets (keyed by start clocks) report via offered_load().
+        assert not any(k.startswith("window") for k in tally.as_kv())
+
+    def test_no_window_means_no_buckets(self):
+        tally = WorkloadTally()
+        self._record(tally)
+        assert tally.ops_by_window == {}
+        assert tally.offered_load() == []
+
+    def test_record_batch_matches_scalar_buckets(self):
+        from repro.core import OpBatch
+
+        records = [
+            OpRecord(**{**_op().__dict__, "start_us": start})
+            for start in (0.0, 3.0, 10.0, 19.5, 20.0, 47.0)
+        ]
+        scalar = WorkloadTally(window_us=10.0)
+        for record in records:
+            scalar.record_op(record)
+        columnar = WorkloadTally(window_us=10.0)
+        columnar.record_batch(OpBatch.from_records(records))
+        assert columnar == scalar
+
+    def test_merge_adds_buckets_and_keeps_window(self):
+        a = WorkloadTally(window_us=10.0)
+        b = WorkloadTally(window_us=10.0)
+        a.record_op(OpRecord(**{**_op().__dict__, "start_us": 1.0}))
+        b.record_op(OpRecord(**{**_op().__dict__, "start_us": 11.0}))
+        merged = a.merge(b)
+        assert merged.window_us == 10.0
+        assert merged.ops_by_window == {0: 1, 1: 1}
+
+    def test_merge_rejects_mismatched_windows(self):
+        import pytest
+
+        a = WorkloadTally(window_us=10.0)
+        b = WorkloadTally(window_us=20.0)
+        with pytest.raises(ValueError, match="different windows"):
+            a.merge(b)
+
+    def test_merge_rejects_unbucketed_ops_meeting_a_window(self):
+        # Ops folded without a window were never bucketed; silently
+        # adopting a window would under-report the offered-load curve.
+        import pytest
+
+        windowless = WorkloadTally()
+        windowless.record_op(_op())
+        windowed = WorkloadTally(window_us=10.0)
+        windowed.record_op(_op())
+        with pytest.raises(ValueError, match="different windows"):
+            windowless.merge(windowed)
+        with pytest.raises(ValueError, match="different windows"):
+            windowed.merge(windowless)
+        # but a genuinely empty side merges fine in either direction
+        assert WorkloadTally().merge(windowed).window_us == 10.0
+        assert windowed.merge(WorkloadTally()).ops_by_window == {0: 1}
+
+    def test_offered_load_rates(self):
+        tally = WorkloadTally(window_us=2e6)  # 2-second windows
+        for start in (0.0, 1e6, 2.5e6):
+            tally.record_op(OpRecord(**{**_op().__dict__,
+                                        "start_us": start}))
+        rows = tally.offered_load()
+        assert rows == [(0.0, 2, 1.0), (2e6, 1, 0.5)]
+
+    def test_from_log_accepts_window(self):
+        log = UsageLog()
+        log.record_op(_op())
+        tally = WorkloadTally.from_log(log, window_us=10.0)
+        assert tally.ops_by_window == {0: 1}
+
+
 class TestShardAccumulator:
     def test_is_an_opsink(self):
         assert isinstance(ShardAccumulator(), OpSink)

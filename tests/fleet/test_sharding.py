@@ -31,10 +31,18 @@ class TestPartitionUserIds:
     def test_deterministic(self):
         assert partition_user_ids(50, 3) == partition_user_ids(50, 3)
 
-    @pytest.mark.parametrize("users,shards", [(0, 1), (4, 0), (3, 4)])
+    @pytest.mark.parametrize("users,shards", [(0, 1), (4, 0)])
     def test_rejects_bad_shapes(self, users, shards):
         with pytest.raises(SpecError):
             partition_user_ids(users, shards)
+
+    def test_more_shards_than_users_yields_empty_shards(self):
+        # Regression: this used to raise; surplus shards must come back
+        # empty so fleet topologies stay valid at any scale.
+        shards = partition_user_ids(3, 5)
+        assert shards == ((0,), (1,), (2,), (), ())
+        seen = [u for shard in shards for u in shard]
+        assert sorted(seen) == list(range(3))
 
 
 class TestPlanShards:

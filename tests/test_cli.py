@@ -28,6 +28,20 @@ class TestParser:
         assert args.scenario == "paper-campus"
         assert args.shards == 1
         assert args.workers is None
+        assert args.arrivals is False
+        assert args.profile is None
+        assert args.window_us is None
+
+    def test_profile_choices_are_the_registry(self):
+        from repro.core import profile_names
+
+        args = build_parser().parse_args(
+            ["fleet", "run", "--profile", "nightly"])
+        assert args.profile == "nightly"
+        assert "nightly" in profile_names()
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fleet", "run", "--profile", "no-such"])
 
 
 class TestCommands:
@@ -115,6 +129,43 @@ class TestCommands:
             return lines[start:end]
 
         assert aggregate_block(des_out) == aggregate_block(fast_out)
+
+    def test_simulate_with_arrivals(self, capsys):
+        code = main(["simulate", "--users", "1", "--sessions", "1",
+                     "--files", "80", "--backend", "fast-columnar",
+                     "--arrivals"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Run summary" in out
+
+    def test_fleet_run_profile_reports_offered_load(self, capsys):
+        code = main(["fleet", "run", "--scenario", "batch-heavy",
+                     "--users", "4", "--shards", "2", "--workers", "1",
+                     "--seed", "7", "--files", "80",
+                     "--backend", "fast-columnar", "--profile", "nightly"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Offered load" in out
+        assert "window start (h)" in out
+
+    def test_fleet_run_arrivals_shard_invariant_output(self, capsys):
+        argv = ["fleet", "run", "--scenario", "mixed-campus", "--users", "4",
+                "--workers", "1", "--seed", "7", "--files", "80",
+                "--backend", "fast", "--arrivals"]
+        assert main(argv + ["--shards", "1"]) == 0
+        one = capsys.readouterr().out
+        assert main(argv + ["--shards", "4"]) == 0
+        four = capsys.readouterr().out
+
+        def block(text, title, stop):
+            lines = text.splitlines()
+            start = next(i for i, line in enumerate(lines) if title in line)
+            end = next(i for i, line in enumerate(lines) if stop in line)
+            return lines[start:end]
+
+        for title, stop in (("Aggregate workload statistics", "Offered load"),
+                            ("Offered load", "Per-shard")):
+            assert block(one, title, stop) == block(four, title, stop)
 
     def test_fleet_run_writes_oplog(self, tmp_path, capsys):
         target = tmp_path / "fleet.log"

@@ -173,5 +173,21 @@ class TestScenarioRegistration:
             assert built.seed == 99
             assert built.user_types == spec.user_types
             assert "t.csv" in scenario.description
+            assert scenario.arrival_model is None  # no block, no model
         finally:
             _REGISTRY.pop("test-calibrated", None)
+
+    def test_register_spec_file_keeps_arrivals_block(self, tmp_path):
+        from repro.core import ArrivalModel, get_profile
+        from repro.scenarios import _REGISTRY, register_spec_file
+
+        model = ArrivalModel(profile=get_profile("nightly"))
+        path = tmp_path / "timed.spec.json"
+        path.write_text(dumps_spec(_empirical_spec(), arrivals=model))
+        scenario = register_spec_file(str(path), name="test-timed")
+        try:
+            # the saved temporal shape survives registration: a
+            # `fleet run --scenario test-timed --arrivals` replays it
+            assert scenario.arrival_model == model
+        finally:
+            _REGISTRY.pop("test-timed", None)
