@@ -1,0 +1,252 @@
+"""Million-user scale: flat peak memory via the spillable op-stream sink.
+
+Runs the same pinned-file-set scenario at geometrically increasing
+populations, each in its own forked child process so ``ru_maxrss`` is an
+honest per-run peak, and reports, per population:
+
+* peak RSS — the headline number: with a
+  :class:`~repro.core.streamfile.StreamFileSink` spilling op rows to
+  disk under a fixed memory budget, peak RSS must stay flat while the
+  artifact grows linearly with the population;
+* wall-clock time, op rows generated, artifact bytes on disk;
+* a replay identity check: streaming the artifact back through a
+  :class:`~repro.fleet.merge.ShardAccumulator` must reproduce the exact
+  aggregate tally of the generating run (asserted).
+
+Besides the human-readable table, every run writes machine-readable
+results to ``BENCH_scale.json`` (override with ``BENCH_SCALE_JSON``).
+``BENCH_SCALE_POPULATIONS`` (comma-separated) and
+``BENCH_SCALE_SESSIONS`` shrink the sweep for CI smoke runs; the
+flat-memory assertion needs at least two populations and tolerates the
+small O(users) planning metadata (type assignment, user-id lists) via
+``FLATNESS_TOLERANCE``.
+
+The flatness claim is about the regime where the budget is *binding*:
+a run whose whole op stream fits inside one chunk buffer never
+saturates the sink, so its peak RSS sits below the steady-state level
+and would inflate the ratio spuriously.  The check therefore compares
+peak RSS across the runs that spilled (``chunks > 1``) when at least
+two did, falling back to all runs otherwise; CI pins
+``BENCH_SCALE_BUDGET_BYTES`` low enough that both smoke populations
+spill.
+
+Run either way::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scale.py -q
+    PYTHONPATH=src python benchmarks/bench_scale.py
+"""
+
+import json
+import os
+import pickle
+import resource
+import struct
+import tempfile
+import time
+
+from repro.core import DEFAULT_MEMORY_BUDGET, StreamReader, WorkloadGenerator
+from repro.core.streamfile import StreamFileSink, TeeSink
+from repro.core.synthesis import PhaseModel
+from repro.fleet.merge import ShardAccumulator
+from repro.harness import format_table
+from repro.scenarios import get_scenario
+
+SCENARIO = "batch-heavy"
+SEED = 7
+TOTAL_FILES = 2000
+DEFAULT_POPULATIONS = (10_000, 100_000, 1_000_000)
+DEFAULT_SESSIONS = 1
+DEFAULT_JSON_PATH = "BENCH_scale.json"
+# Among runs where the budget binds (the sink spilled), peak RSS at
+# the largest population may exceed the smallest's by at most this
+# factor: op data must never accumulate in memory, but the planner's
+# O(users) metadata (a type per user, the sorted id list) is real and
+# a few dozen MiB at a million users.
+FLATNESS_TOLERANCE = 1.5
+
+POPULATIONS = tuple(
+    int(p) for p in os.environ.get(
+        "BENCH_SCALE_POPULATIONS",
+        ",".join(str(p) for p in DEFAULT_POPULATIONS),
+    ).split(",")
+)
+SESSIONS = int(os.environ.get("BENCH_SCALE_SESSIONS", DEFAULT_SESSIONS))
+BUDGET_BYTES = int(
+    os.environ.get("BENCH_SCALE_BUDGET_BYTES", DEFAULT_MEMORY_BUDGET))
+JSON_PATH = os.environ.get("BENCH_SCALE_JSON", DEFAULT_JSON_PATH)
+
+
+def _generate_run(users: int, path: str, sessions: int = SESSIONS,
+                  seed: int = SEED, budget: int = BUDGET_BYTES) -> dict:
+    """One population: generate into a stream sink, then verify by replay."""
+    scenario = get_scenario(SCENARIO)
+    spec = scenario.build(users, seed, total_files=TOTAL_FILES)
+    generator = WorkloadGenerator(spec)
+    tally = ShardAccumulator()
+    sink = StreamFileSink(path, memory_budget_bytes=budget, metadata={
+        "tool": "bench-scale", "scenario": SCENARIO, "seed": seed,
+        "users": users, "sessions_per_user": sessions,
+    })
+    start = time.perf_counter()
+    try:
+        generator.run_simulated(
+            sessions_per_user=sessions,
+            backend="fast-columnar",
+            access_pattern=scenario.access_pattern,
+            phase_model_factory=(PhaseModel if scenario.use_phase_model
+                                 else None),
+            log=TeeSink(tally, sink),
+        )
+    finally:
+        sink.close()
+    wall_s = time.perf_counter() - start
+    # Replay identity: the artifact must reproduce the generating run's
+    # aggregate statistics exactly — the disk round trip loses nothing.
+    replayed = ShardAccumulator()
+    with StreamReader(path) as reader:
+        rows, session_count = reader.replay(replayed)
+    assert replayed.tally == tally.tally, (
+        f"replayed tally diverged from generating run at {users} users"
+    )
+    assert rows == tally.tally.operations
+    peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "users": users,
+        "sessions_per_user": sessions,
+        "wall_s": wall_s,
+        "ops": rows,
+        "sessions": session_count,
+        "chunks": sink.chunks_written,
+        "artifact_bytes": os.path.getsize(path),
+        "peak_rss_kib": peak_rss_kib,
+        "replay_identical": True,
+    }
+
+
+def _run_in_child(users: int, path: str) -> dict:
+    """Fork, run one population in the child, report its dict via a pipe.
+
+    ``ru_maxrss`` is a per-process high-water mark, so measuring each
+    population in a fresh child is the only way to get honest per-run
+    peaks inside one sweep.
+    """
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # child
+        status = 1
+        try:
+            os.close(read_fd)
+            payload = pickle.dumps(_generate_run(users, path))
+            os.write(write_fd, struct.pack("<Q", len(payload)) + payload)
+            status = 0
+        finally:
+            os.close(write_fd)
+            os._exit(status)
+    os.close(write_fd)
+    try:
+        with os.fdopen(read_fd, "rb") as stream:
+            data = stream.read()
+    finally:
+        _, wait_status = os.waitpid(pid, 0)
+    code = os.waitstatus_to_exitcode(wait_status)
+    if code != 0 or len(data) < 8:
+        raise RuntimeError(
+            f"bench child for {users} users failed (exit {code})")
+    (length,) = struct.unpack("<Q", data[:8])
+    return pickle.loads(data[8:8 + length])
+
+
+def scale_results(populations=None) -> dict:
+    """Run the scale sweep; return a machine-readable result dict."""
+    populations = POPULATIONS if populations is None else populations
+    runs = []
+    for users in populations:
+        with tempfile.TemporaryDirectory(prefix="bench-scale-") as tmp:
+            path = os.path.join(tmp, f"scale-{users}.opstream")
+            runs.append(_run_in_child(users, path))
+    smallest, largest = runs[0], runs[-1]
+    # The flat-RSS property holds where the budget binds: only runs
+    # that spilled (> 1 chunk) have reached the sink's steady state.
+    spilled = [run for run in runs if run["chunks"] > 1]
+    basis = spilled if len(spilled) >= 2 else runs
+    rss_ratio = basis[-1]["peak_rss_kib"] / basis[0]["peak_rss_kib"]
+    data_ratio = largest["artifact_bytes"] / smallest["artifact_bytes"]
+    return {
+        "benchmark": "scale",
+        "scenario": SCENARIO,
+        "seed": SEED,
+        "total_files": TOTAL_FILES,
+        "sessions_per_user": SESSIONS,
+        "memory_budget_bytes": BUDGET_BYTES,
+        "runs": runs,
+        "flatness_basis_users": [run["users"] for run in basis],
+        "rss_ratio_spilled": rss_ratio,
+        "data_ratio_largest_vs_smallest": data_ratio,
+        "memory_flat": rss_ratio <= FLATNESS_TOLERANCE,
+    }
+
+
+def check_memory_flat(results: dict) -> None:
+    """Assert peak RSS stayed flat while the artifact grew."""
+    if len(results["runs"]) < 2:
+        return
+    ratio = results["rss_ratio_spilled"]
+    basis = results["flatness_basis_users"]
+    assert ratio <= FLATNESS_TOLERANCE, (
+        f"peak RSS grew {ratio:.2f}x from "
+        f"{basis[0]} to {basis[-1]} users "
+        f"(artifact grew {results['data_ratio_largest_vs_smallest']:.1f}x "
+        f"over the sweep); the stream sink must keep memory flat"
+    )
+
+
+def write_results_json(results: dict, path: str = None) -> str:
+    """Write the result dict as JSON; returns the path written."""
+    path = JSON_PATH if path is None else path
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(results, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return path
+
+
+def results_table(results: dict) -> str:
+    """Render the result dict as the human-readable table."""
+    rows = [
+        (run["users"], run["wall_s"], run["ops"], run["chunks"],
+         f"{run['artifact_bytes'] / (1 << 20):.1f}",
+         f"{run['peak_rss_kib'] / 1024:.1f}",
+         "identical")
+        for run in results["runs"]
+    ]
+    return format_table(
+        ["users", "wall s", "op rows", "chunks", "artifact MiB",
+         "peak RSS MiB", "replay vs direct"],
+        rows,
+        title=(
+            f"Million-user scale — {results['scenario']}, "
+            f"{results['sessions_per_user']} session(s)/user, "
+            f"{results['memory_budget_bytes'] >> 20} MiB budget, "
+            f"seed {results['seed']}"
+        ),
+    )
+
+
+def test_bench_scale(benchmark):
+    from .conftest import emit, once
+
+    results = once(benchmark, scale_results)
+    emit("bench_scale", results_table(results))
+    path = write_results_json(results)
+    print(f"\nmachine-readable results written to {path}")
+    check_memory_flat(results)
+
+
+if __name__ == "__main__":
+    results = scale_results()
+    print(results_table(results))
+    path = write_results_json(results)
+    print(f"\nmachine-readable results written to {path}")
+    try:
+        check_memory_flat(results)
+    except AssertionError as exc:
+        raise SystemExit(str(exc))

@@ -100,6 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="diurnal intensity profile shaping the login "
                             "offsets (implies --arrivals)")
 
+    def stream_out_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--out-stream", metavar="PATH", default=None,
+                       help="also spill the op stream to a columnar "
+                            "stream-file artifact (re-readable with "
+                            "`stream info/replay`)")
+        p.add_argument("--stream-budget-bytes", type=int, default=None,
+                       metavar="N",
+                       help="stream-file buffer budget: at most N bytes "
+                            "of column data held between chunk flushes "
+                            "(default 64 MiB)")
+
     sim = sub.add_parser("simulate", help="run a simulated experiment")
     common(sim)
     sim.add_argument("--backend", choices=RUN_BACKENDS,
@@ -110,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "times, no engine; fast-columnar does the same "
                           "through vectorized array batches")
     arrival_args(sim)
+    stream_out_args(sim)
 
     real = sub.add_parser("real", help="drive a real directory")
     common(real)
@@ -162,8 +174,41 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--window-us", type=float, default=None,
                            help="offered-load window width (µs; default: "
                                 "1 hour when arrivals are enabled)")
+    stream_out_args(fleet_run)
 
     fleet_sub.add_parser("scenarios", help="list the scenario library")
+
+    stream = sub.add_parser(
+        "stream", help="inspect, merge and replay op-stream artifacts"
+    )
+    stream_sub = stream.add_subparsers(dest="stream_command", required=True)
+
+    s_info = stream_sub.add_parser(
+        "info", help="print an artifact's header, totals and metadata"
+    )
+    s_info.add_argument("streamfile")
+
+    s_merge = stream_sub.add_parser(
+        "merge",
+        help="k-way merge per-shard artifacts into one canonical file",
+    )
+    s_merge.add_argument("inputs", nargs="+", metavar="SHARD")
+    s_merge.add_argument("-o", "--output", required=True,
+                         help="merged artifact path")
+
+    s_replay = stream_sub.add_parser(
+        "replay",
+        help="re-execute an artifact from disk through the columnar "
+             "sink path (no regeneration) and print the aggregate",
+    )
+    s_replay.add_argument("streamfile")
+    s_replay.add_argument("--oplog", metavar="PATH", default=None,
+                          help="also write the replayed usage log")
+    s_replay.add_argument("--users", metavar="IDS", default=None,
+                          help="only replay these user ids "
+                               "(comma-separated)")
+    s_replay.add_argument("--window-us", metavar="LO:HI", default=None,
+                          help="only replay ops starting in [LO, HI) µs")
 
     char = sub.add_parser(
         "characterize",
@@ -288,11 +333,44 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "simulate":
-        result = WorkloadGenerator(_spec_from(args)).run_simulated(
-            sessions_per_user=args.sessions, backend=args.backend,
-            arrivals=_arrivals_from(args),
-        )
+        log = None
+        stream_sink = None
+        if args.out_stream is not None:
+            from .core import (
+                DEFAULT_MEMORY_BUDGET,
+                StreamFileSink,
+                TeeSink,
+                UsageLog,
+            )
+
+            usage = UsageLog()
+            stream_sink = StreamFileSink(
+                args.out_stream,
+                memory_budget_bytes=(args.stream_budget_bytes
+                                     or DEFAULT_MEMORY_BUDGET),
+                metadata={
+                    "tool": "repro-simulate",
+                    "backend": args.backend,
+                    "seed": args.seed,
+                    "users": args.users,
+                    "sessions_per_user": args.sessions,
+                },
+            )
+            log = TeeSink(usage, stream_sink)
+        try:
+            result = WorkloadGenerator(_spec_from(args)).run_simulated(
+                sessions_per_user=args.sessions, backend=args.backend,
+                arrivals=_arrivals_from(args), log=log,
+            )
+        finally:
+            if stream_sink is not None:
+                stream_sink.close()
+        if stream_sink is not None:
+            result.log = usage  # the analyzer needs the UsageLog, not the tee
         _print_summary(result)
+        if stream_sink is not None:
+            print(f"\nop stream ({stream_sink.chunks_written} chunks) "
+                  f"written to {args.out_stream}")
     elif args.command == "real":
         result = WorkloadGenerator(_spec_from(args)).run_real(
             args.directory,
@@ -318,6 +396,8 @@ def main(argv: list[str] | None = None) -> int:
         ))
     elif args.command == "fleet":
         return _main_fleet(args)
+    elif args.command == "stream":
+        return _main_stream(args)
     elif args.command == "characterize":
         return _main_characterize(args)
     elif args.command == "trace":
@@ -381,6 +461,8 @@ def _main_fleet(args: argparse.Namespace) -> int:
             use_arrivals=args.arrivals,
             profile=args.profile,
             window_us=args.window_us,
+            out_stream=args.out_stream,
+            stream_budget_bytes=args.stream_budget_bytes,
         )
         result = run_fleet(config)
     except (ScenarioError, SpecError) as exc:
@@ -401,7 +483,85 @@ def _main_fleet(args: argparse.Namespace) -> int:
             result.log.dump(stream)
         print(f"\nmerged usage log ({len(result.log.operations)} ops) "
               f"written to {args.oplog}")
+    if args.out_stream is not None:
+        print(f"\nmerged op-stream artifact ({result.tally.operations} ops) "
+              f"written to {args.out_stream}")
     return 0
+
+
+def _main_stream(args: argparse.Namespace) -> int:
+    from .core import StreamFormatError, StreamReader, merge_stream_files
+
+    if args.stream_command == "info":
+        try:
+            with StreamReader(args.streamfile) as reader:
+                print(format_kv(reader.info_kv(),
+                                title="Op-stream artifact"))
+        except StreamFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.stream_command == "merge":
+        try:
+            rows = merge_stream_files(args.output, args.inputs)
+        except (StreamFormatError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"merged {len(args.inputs)} shard artifact(s), {rows} op "
+              f"rows, into {args.output}")
+        return 0
+
+    if args.stream_command == "replay":
+        from .fleet.merge import ShardAccumulator
+
+        users = None
+        if args.users is not None:
+            try:
+                users = [int(u) for u in args.users.split(",") if u]
+            except ValueError:
+                print(f"error: bad --users list {args.users!r}",
+                      file=sys.stderr)
+                return 2
+        time_range = None
+        if args.window_us is not None:
+            try:
+                lo, hi = args.window_us.split(":")
+                time_range = (float(lo), float(hi))
+            except ValueError:
+                print(f"error: --window-us wants LO:HI, got "
+                      f"{args.window_us!r}", file=sys.stderr)
+                return 2
+        sink = ShardAccumulator(collect_ops=args.oplog is not None)
+        filtered = users is not None or time_range is not None
+        try:
+            with StreamReader(args.streamfile) as reader:
+                if filtered:
+                    # A slice has no complete session boundaries; replay
+                    # the matching op rows only.
+                    rows = sessions = 0
+                    for batch in reader.iter_batches(users=users,
+                                                     time_range=time_range):
+                        sink.record_batch(batch)
+                        rows += len(batch)
+                else:
+                    rows, sessions = reader.replay(sink)
+        except StreamFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        summary = dict(sink.tally.as_kv())
+        summary["sessions replayed"] = sessions
+        print(format_kv(
+            summary,
+            title=f"Replayed {rows} op rows from {args.streamfile}"
+                  + (" (sliced)" if filtered else ""),
+        ))
+        if args.oplog is not None:
+            with open(args.oplog, "w", encoding="utf-8") as stream:
+                sink.log.dump(stream)
+            print(f"\nreplayed usage log written to {args.oplog}")
+        return 0
+    raise AssertionError(f"unhandled stream command {args.stream_command!r}")
 
 
 def _main_characterize(args: argparse.Namespace) -> int:

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable
 
 import numpy as np
 
@@ -127,13 +127,16 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def execute(
         self,
-        tasks: Sequence[UserSessions],
+        tasks: Iterable[UserSessions],
         log: OpSink,
         time_limit_us: float | None = None,
     ) -> float:
         """Run every task, record into ``log``, return the duration (µs).
 
-        ``time_limit_us`` truncates the run: the DES stops the shared
+        ``tasks`` may be any iterable — the engine-free backends drain
+        it lazily, one user at a time, so a fleet-scale run can stream
+        task construction instead of materialising every user's
+        generator up front.  ``time_limit_us`` truncates the run: the DES stops the shared
         engine clock at the limit, the fast backends stop each user's
         own clock (users are independent there).  The boundary rule is
         the same everywhere: **an op starting exactly at the limit is
@@ -159,7 +162,7 @@ class DesBackend(ExecutionBackend):
 
     def execute(
         self,
-        tasks: Sequence[UserSessions],
+        tasks: Iterable[UserSessions],
         log: OpSink,
         time_limit_us: float | None = None,
     ) -> float:
@@ -278,7 +281,7 @@ class FastReplayBackend(ExecutionBackend):
 
     def execute(
         self,
-        tasks: Sequence[UserSessions],
+        tasks: Iterable[UserSessions],
         log: OpSink,
         time_limit_us: float | None = None,
     ) -> float:

@@ -24,7 +24,7 @@ surfaces).  Point-mass distributions are kept exact rather than tabulated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -284,6 +284,38 @@ class WorkloadGenerator:
                 )
         return assignment, selected
 
+    def iter_synthesized_users(
+        self,
+        layout: FileSystemLayout,
+        selected: Iterable[int],
+        assignment: "list[UserTypeSpec] | None" = None,
+        access_pattern: str = "sequential",
+        phase_model_factory=None,
+    ) -> Iterator[SessionGenerator]:
+        """Stage 2 (synthesize), lazily: generators yielded one at a time.
+
+        Each user's :class:`~repro.core.synthesis.SessionGenerator`
+        carries its own batched samplers and forked random streams, so a
+        million-user population must not hold them all at once.  Because
+        synthesis is a pure function of ``(root seed, user id)``, the
+        order and content of every draw is identical whether generators
+        are built eagerly or on demand — the engine-free backends
+        consume this iterator directly and stay flat in memory.
+        """
+        if assignment is None:
+            assignment = self.spec.assign_user_types()
+        tabulated = {t.name: t for t in self._tabulate_user_types()}
+        for user_id in selected:
+            yield SessionGenerator(
+                tabulated[assignment[user_id].name],
+                layout,
+                self.streams,
+                user_id=user_id,
+                access_pattern=access_pattern,
+                phase_model=(phase_model_factory()
+                             if phase_model_factory else None),
+            )
+
     def synthesize_users(
         self,
         layout: FileSystemLayout,
@@ -298,22 +330,13 @@ class WorkloadGenerator:
         sample from GDS CDF tables through batched per-quantity streams;
         they carry no timing and can be drained directly (``for op in
         g.generate_session(0)``) or handed to an execution backend.
+        (Eager list form of :meth:`iter_synthesized_users`.)
         """
-        if assignment is None:
-            assignment = self.spec.assign_user_types()
-        tabulated = {t.name: t for t in self._tabulate_user_types()}
-        return [
-            SessionGenerator(
-                tabulated[assignment[user_id].name],
-                layout,
-                self.streams,
-                user_id=user_id,
-                access_pattern=access_pattern,
-                phase_model=(phase_model_factory()
-                             if phase_model_factory else None),
-            )
-            for user_id in selected
-        ]
+        return list(self.iter_synthesized_users(
+            layout, selected, assignment,
+            access_pattern=access_pattern,
+            phase_model_factory=phase_model_factory,
+        ))
 
     def run_simulated(
         self,
@@ -387,20 +410,27 @@ class WorkloadGenerator:
             executor = DesBackend(handle.engine, handle.client)
         if log is None:
             log = UsageLog()
-        generators = self.synthesize_users(
-            layout, selected, assignment,
-            access_pattern=access_pattern,
-            phase_model_factory=phase_model_factory,
-        )
-        tasks = [
+        task_iter = (
             UserSessions(
                 g, sessions_per_user,
                 schedule=(arrivals.schedule(self.streams, g.user_id,
                                             sessions_per_user)
                           if arrivals is not None else None),
             )
-            for g in generators
-        ]
+            for g in self.iter_synthesized_users(
+                layout, selected, assignment,
+                access_pattern=access_pattern,
+                phase_model_factory=phase_model_factory,
+            )
+        )
+        # The engine-free backends run users one after another, so they
+        # take the lazy iterator and never hold more than one user's
+        # generator — the flat-memory property million-user stream runs
+        # rely on.  The DES interleaves every user on one engine and
+        # needs them all alive; it gets the materialised list.
+        tasks: "Iterable[UserSessions]" = (
+            task_iter if backend in FAST_BACKENDS else list(task_iter)
+        )
         duration_us = executor.execute(
             tasks, log, time_limit_us=time_limit_us,
         )

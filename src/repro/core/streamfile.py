@@ -1,0 +1,1094 @@
+"""On-disk op-stream artifacts — the run as a durable, re-readable file.
+
+Every in-memory path so far (``UsageLog``, ``WorkloadTally``) either
+stores the whole run or only its statistics.  At the ROADMAP's
+million-user scale neither is enough: downstream consumers need the
+*operation stream itself* — LWS-style log-driven replay wants the exact
+ops, not a regeneration — and the machine generating it cannot hold it.
+``repro.core.streamfile`` makes the op stream a file:
+
+* :class:`StreamFileSink` is an :class:`~repro.core.oplog.OpSink` that
+  spills :class:`~repro.core.opbatch.OpBatch` chunks to disk under a
+  bounded ``memory_budget_bytes`` instead of accumulating;
+* :class:`StreamReader` / :func:`iter_batches` stream the artifact back
+  as batches, with a footer index for seeking and slicing by user id or
+  time window without touching unrelated chunks;
+* :meth:`StreamReader.replay` feeds a sink (tally, usage log, another
+  stream file) straight from disk — the fast-columnar consumption path
+  without regeneration;
+* :func:`merge_stream_files` interleaves per-shard artifacts into one
+  file **bit-identical** to the artifact a 1-shard run would have
+  written.
+
+File layout (all integers little-endian)::
+
+    MAGIC  u16 version
+    u32 len  u32 crc32  header-JSON          (schema, rows/chunk, metadata)
+    'C' u64 len  u32 crc32  chunk payload    (repeated)
+    'F' u64 len  u32 crc32  footer-JSON      (per-chunk seek index)
+    u64 footer-offset  MAGIC                 (fixed-size tail)
+
+Chunk payloads hold per-chunk *compacted* string tables (first-use
+order) followed by one npy-framed block per column, then the session
+records that ended inside the chunk, each tagged with its global op-row
+position so the exact event order (ops interleaved with session
+summaries) reconstructs on replay.
+
+Determinism is the load-bearing property.  Chunk boundaries are a pure
+function of the global op-row count (``rows_per_chunk`` rows each,
+derived from the byte budget via the fixed :data:`ROW_BYTES`), never of
+arrival granularity — so re-chunking the same event stream, whether it
+comes from one run, a replay, or a k-way shard merge, reproduces the
+same frames byte for byte.  Every frame is CRC-checked; any truncation
+or bit flip surfaces as :class:`StreamFormatError`, never as garbage
+records.
+
+Versioning: ``FORMAT_VERSION`` bumps on any layout change; readers
+reject newer versions loudly.  See ``docs/architecture.md`` for the
+format's rationale and evolution rules.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .opbatch import OP_KIND_NAMES, OpBatch, StringTable
+from .oplog import OpRecord, SessionRecord
+
+__all__ = [
+    "FORMAT_VERSION",
+    "STREAM_FORMAT_VERSION",
+    "ROW_BYTES",
+    "DEFAULT_MEMORY_BUDGET",
+    "StreamFormatError",
+    "rows_per_chunk_for",
+    "TeeSink",
+    "StreamWriter",
+    "StreamFileSink",
+    "ChunkInfo",
+    "StreamChunk",
+    "StreamReader",
+    "iter_batches",
+    "merge_stream_files",
+]
+
+MAGIC = b"REPRO-OPSTREAM\x00"
+FORMAT_VERSION = 1
+STREAM_FORMAT_VERSION = FORMAT_VERSION  # package-level alias
+
+# Column schema, in serialisation order.  The chunk payload stores one
+# npy block per entry; ``think_us`` is optional per chunk (synthesis
+# batches carry it, scalar record bridges do not).
+_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("kinds", "int8"),
+    ("plan_ids", "int64"),
+    ("sizes", "int64"),
+    ("flags", "int16"),
+    ("path_idx", "int32"),
+    ("category_idx", "int32"),
+    ("user_ids", "int64"),
+    ("session_ids", "int64"),
+    ("user_type_idx", "int32"),
+    ("start_us", "float64"),
+    ("response_us", "float64"),
+)
+_THINK_COLUMN = ("think_us", "int64")
+
+ROW_BYTES = sum(np.dtype(d).itemsize for _, d in _COLUMNS) + np.dtype(
+    _THINK_COLUMN[1]
+).itemsize
+"""Fixed bytes per op row (every column incl. the optional think one).
+
+The budget → ``rows_per_chunk`` conversion goes through this constant
+rather than the actual buffered column widths so that chunk boundaries —
+and therefore the artifact's bytes — depend only on the budget, never on
+which optional columns a particular run happened to carry.
+"""
+
+DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
+"""Default :class:`StreamFileSink` buffer budget: 64 MiB of column data."""
+
+_FRAME_CHUNK = b"C"
+_FRAME_FOOTER = b"F"
+_HEAD_FMT = "<LL"  # frame length, crc32 (header frame)
+_FRAME_FMT = "<cQL"  # frame type, payload length, crc32
+_TAIL_FMT = "<Q"  # footer frame offset (followed by MAGIC)
+_TAIL_BYTES = struct.calcsize(_TAIL_FMT) + len(MAGIC)
+
+
+class StreamFormatError(ValueError):
+    """A stream file is truncated, corrupt, or not a stream file at all."""
+
+
+def rows_per_chunk_for(memory_budget_bytes: int) -> int:
+    """Rows per chunk under ``memory_budget_bytes`` (at least one)."""
+    if memory_budget_bytes < 1:
+        raise ValueError(
+            f"memory_budget_bytes must be >= 1, got {memory_budget_bytes}"
+        )
+    return max(1, int(memory_budget_bytes) // ROW_BYTES)
+
+
+# ---------------------------------------------------------------------------
+# Batch concatenation and per-chunk table compaction
+# ---------------------------------------------------------------------------
+
+
+def _remap_indices(idx: np.ndarray, source: StringTable,
+                   target: StringTable) -> np.ndarray:
+    """Re-intern ``idx`` (indices into ``source``) into ``target``.
+
+    Only the values actually used are interned, so a slice sharing a
+    large long-lived table costs O(distinct values used), not O(table).
+    """
+    used = np.unique(idx[idx >= 0])
+    if used.size == 0:
+        return idx.astype(np.int32, copy=True)
+    values = source.values()
+    lut = np.full(int(used[-1]) + 1, -1, dtype=np.int32)
+    for i in used:
+        lut[int(i)] = target.intern(values[int(i)])
+    out = lut[np.maximum(idx, 0)]
+    out[idx < 0] = -1
+    return out
+
+
+def concat_batches(batches: Iterable[OpBatch]) -> OpBatch:
+    """Concatenate batches into one, re-interning the string tables.
+
+    The ``think_us`` column survives only when *every* input carries it
+    (a record batch without thinks has no pause information to invent).
+    An empty input list yields a well-typed empty batch.
+    """
+    batches = [b for b in batches if len(b)]
+    if not batches:
+        return OpBatch.empty(0)
+    if len(batches) == 1:
+        return batches[0]
+    total = sum(len(b) for b in batches)
+    out = OpBatch.empty(total)
+    keep_think = all(b.think_us is not None for b in batches)
+    if keep_think:
+        out.think_us = np.empty(total, dtype=np.int64)
+    pos = 0
+    for b in batches:
+        n = len(b)
+        part = slice(pos, pos + n)
+        out.kinds[part] = b.kinds
+        out.plan_ids[part] = b.plan_ids
+        out.sizes[part] = b.sizes
+        out.flags[part] = b.flags
+        out.user_ids[part] = b.user_ids
+        out.session_ids[part] = b.session_ids
+        out.start_us[part] = b.start_us
+        out.response_us[part] = b.response_us
+        out.path_idx[part] = _remap_indices(b.path_idx, b.paths, out.paths)
+        out.category_idx[part] = _remap_indices(
+            b.category_idx, b.categories, out.categories)
+        out.user_type_idx[part] = _remap_indices(
+            b.user_type_idx, b.user_types, out.user_types)
+        if keep_think:
+            out.think_us[part] = b.think_us
+        pos += n
+    return out
+
+
+def _compact_column(idx: np.ndarray, table: StringTable):
+    """Compact one string column for serialisation.
+
+    Returns ``(new_idx, values)`` where ``values`` holds only the
+    strings the column references, ordered by first occurrence in row
+    order — a pure function of the rows, so identical rows always
+    serialise to identical bytes regardless of the table they shared in
+    memory.
+    """
+    used = idx[idx >= 0]
+    if used.size == 0:
+        return idx.astype(np.int32, copy=False), []
+    uniq, first = np.unique(used, return_index=True)
+    order = np.argsort(first, kind="stable")
+    ordered = uniq[order]
+    lut = np.full(int(uniq[-1]) + 1, -1, dtype=np.int32)
+    lut[ordered] = np.arange(len(ordered), dtype=np.int32)
+    new_idx = lut[np.maximum(idx, 0)]
+    new_idx[idx < 0] = -1
+    values = table.values()
+    return new_idx, [values[int(i)] for i in ordered]
+
+
+# ---------------------------------------------------------------------------
+# Chunk payload encode/decode
+# ---------------------------------------------------------------------------
+
+
+def _write_table(out: io.BytesIO, values: list[str]) -> None:
+    out.write(struct.pack("<L", len(values)))
+    for value in values:
+        raw = value.encode("utf-8")
+        out.write(struct.pack("<L", len(raw)))
+        out.write(raw)
+
+
+def _write_array(out: io.BytesIO, array: np.ndarray) -> None:
+    block = io.BytesIO()
+    np.save(block, array, allow_pickle=False)
+    raw = block.getvalue()
+    out.write(struct.pack("<Q", len(raw)))
+    out.write(raw)
+
+
+def _encode_chunk(batch: OpBatch,
+                  sessions: list[tuple[int, SessionRecord]]) -> bytes:
+    out = io.BytesIO()
+    has_think = batch.think_us is not None
+    out.write(struct.pack("<QB", len(batch), int(has_think)))
+    compacted = {}
+    for idx_name, table_name in (("path_idx", "paths"),
+                                 ("category_idx", "categories"),
+                                 ("user_type_idx", "user_types")):
+        new_idx, values = _compact_column(
+            getattr(batch, idx_name), getattr(batch, table_name))
+        compacted[idx_name] = new_idx
+        _write_table(out, values)
+    for name, dtype in _COLUMNS:
+        column = compacted.get(name, None)
+        if column is None:
+            column = getattr(batch, name)
+        _write_array(out, np.ascontiguousarray(column, dtype=np.dtype(dtype)))
+    if has_think:
+        _write_array(out, np.ascontiguousarray(
+            batch.think_us, dtype=np.int64))
+    out.write(struct.pack("<L", len(sessions)))
+    for position, record in sessions:
+        raw = record.to_line().encode("utf-8")
+        out.write(struct.pack("<QL", position, len(raw)))
+        out.write(raw)
+    return out.getvalue()
+
+
+class _PayloadReader:
+    """Bounds-checked cursor over one decoded frame payload."""
+
+    def __init__(self, payload: bytes, what: str):
+        self._data = payload
+        self._pos = 0
+        self._what = what
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self._pos + n > len(self._data):
+            raise StreamFormatError(
+                f"{self._what}: truncated payload "
+                f"(wanted {n} bytes at offset {self._pos})"
+            )
+        out = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def unpack(self, fmt: str):
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+    def done(self) -> None:
+        if self._pos != len(self._data):
+            raise StreamFormatError(
+                f"{self._what}: {len(self._data) - self._pos} trailing bytes"
+            )
+
+
+def _read_table(cursor: _PayloadReader) -> StringTable:
+    (count,) = cursor.unpack("<L")
+    values = []
+    for _ in range(count):
+        (nbytes,) = cursor.unpack("<L")
+        try:
+            values.append(cursor.take(nbytes).decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise StreamFormatError(f"corrupt string table: {exc}") from None
+    return StringTable(values)
+
+
+def _read_array(cursor: _PayloadReader, name: str, dtype: str,
+                n: int) -> np.ndarray:
+    (nbytes,) = cursor.unpack("<Q")
+    raw = cursor.take(nbytes)
+    try:
+        array = np.load(io.BytesIO(raw), allow_pickle=False)
+    except Exception as exc:
+        raise StreamFormatError(
+            f"column {name!r}: corrupt npy block ({exc})"
+        ) from None
+    if array.dtype != np.dtype(dtype) or array.shape != (n,):
+        raise StreamFormatError(
+            f"column {name!r}: expected {n} x {dtype}, "
+            f"got {array.shape} x {array.dtype}"
+        )
+    return array
+
+
+def _decode_chunk(payload: bytes, what: str):
+    cursor = _PayloadReader(payload, what)
+    n, has_think = cursor.unpack("<QB")
+    if has_think not in (0, 1):
+        raise StreamFormatError(f"{what}: bad think flag {has_think}")
+    tables = [_read_table(cursor) for _ in range(3)]
+    batch = OpBatch.empty(int(n), paths=tables[0], categories=tables[1],
+                          user_types=tables[2])
+    for name, dtype in _COLUMNS:
+        setattr(batch, name, _read_array(cursor, name, dtype, int(n)))
+    if has_think:
+        batch.think_us = _read_array(cursor, *_THINK_COLUMN, int(n))
+    for idx_name, table in (("path_idx", tables[0]),
+                            ("category_idx", tables[1]),
+                            ("user_type_idx", tables[2])):
+        idx = getattr(batch, idx_name)
+        if len(idx) and (int(idx.min()) < -1 or int(idx.max()) >= len(table)):
+            raise StreamFormatError(f"{what}: {idx_name} out of table range")
+    (n_sessions,) = cursor.unpack("<L")
+    sessions = []
+    for _ in range(n_sessions):
+        position, nbytes = cursor.unpack("<QL")
+        raw = cursor.take(nbytes)
+        try:
+            record = SessionRecord.from_line(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise StreamFormatError(
+                f"{what}: corrupt session record ({exc})"
+            ) from None
+        sessions.append((int(position), record))
+    cursor.done()
+    return batch, sessions
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+
+class StreamWriter:
+    """Low-level append writer: events in, canonical chunks out.
+
+    Feed it the run's event stream (:meth:`add_batch` op rows,
+    :meth:`add_session` summaries, in arrival order) and it emits frames
+    of exactly ``rows_per_chunk`` rows each (the final one shorter), with
+    every session attached to the chunk containing the op row it
+    followed.  Chunk *i* is flushed only once a row of chunk *i + 1*
+    arrives, so a summary landing exactly on a boundary still joins its
+    own chunk — the buffered high-water mark is ``rows_per_chunk`` rows
+    plus the incoming batch.
+    """
+
+    def __init__(self, path: str, rows_per_chunk: int,
+                 metadata: dict | None = None):
+        if rows_per_chunk < 1:
+            raise ValueError(
+                f"rows_per_chunk must be >= 1, got {rows_per_chunk}"
+            )
+        self.path = path
+        self.rows_per_chunk = int(rows_per_chunk)
+        self.metadata = dict(metadata or {})
+        self._pieces: list[OpBatch] = []
+        self._buffered = 0
+        self._rows_done = 0
+        self._sessions: list[tuple[int, SessionRecord]] = []
+        self._sessions_done = 0
+        self._index: list[dict] = []
+        self._closed = False
+        self.chunks_written = 0
+        self._stream = open(path, "wb")
+        try:
+            self._write_header()
+        except BaseException:
+            self._stream.close()
+            raise
+
+    # -- events ---------------------------------------------------------------
+
+    @property
+    def buffered_rows(self) -> int:
+        """Op rows currently held in memory (pending the next flush)."""
+        return self._buffered
+
+    def add_batch(self, batch: OpBatch) -> None:
+        """Append op rows (sliced views are fine; tables may be shared)."""
+        if len(batch) == 0:
+            return
+        self._pieces.append(batch)
+        self._buffered += len(batch)
+        while self._buffered > self.rows_per_chunk:
+            self._flush_chunk(self.rows_per_chunk)
+
+    def add_session(self, record: SessionRecord) -> None:
+        """Append a session summary at the current op-row position."""
+        self._sessions.append((self._rows_done + self._buffered, record))
+
+    def close(self) -> None:
+        """Flush the tail chunk, write the footer index, close the file."""
+        if self._closed:
+            return
+        try:
+            while self._buffered > self.rows_per_chunk:
+                self._flush_chunk(self.rows_per_chunk)
+            if self._buffered or self._sessions:
+                self._flush_chunk(self._buffered)
+            self._write_footer()
+        finally:
+            self._closed = True
+            self._stream.close()
+
+    def __enter__(self) -> "StreamWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- framing --------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        header = json.dumps(
+            {
+                "version": FORMAT_VERSION,
+                "kinds": list(OP_KIND_NAMES),
+                "columns": [list(c) for c in _COLUMNS],
+                "think_column": list(_THINK_COLUMN),
+                "rows_per_chunk": self.rows_per_chunk,
+                "metadata": self.metadata,
+            },
+            sort_keys=True, separators=(",", ":"),
+        ).encode("utf-8")
+        self._stream.write(MAGIC)
+        self._stream.write(struct.pack("<H", FORMAT_VERSION))
+        self._stream.write(struct.pack(_HEAD_FMT, len(header),
+                                       zlib.crc32(header)))
+        self._stream.write(header)
+
+    def _take_rows(self, n: int) -> OpBatch:
+        taken: list[OpBatch] = []
+        while n > 0:
+            piece = self._pieces[0]
+            if len(piece) <= n:
+                taken.append(self._pieces.pop(0))
+                n -= len(piece)
+            else:
+                taken.append(piece.select(slice(0, n)))
+                self._pieces[0] = piece.select(slice(n, len(piece)))
+                n = 0
+        return concat_batches(taken)
+
+    def _flush_chunk(self, take: int) -> None:
+        rows = self._take_rows(take)
+        boundary = self._rows_done + take
+        cut = 0
+        while (cut < len(self._sessions)
+               and self._sessions[cut][0] <= boundary):
+            cut += 1
+        sessions, self._sessions = self._sessions[:cut], self._sessions[cut:]
+        payload = _encode_chunk(rows, sessions)
+        offset = self._stream.tell()
+        self._stream.write(struct.pack(_FRAME_FMT, _FRAME_CHUNK,
+                                       len(payload), zlib.crc32(payload)))
+        self._stream.write(payload)
+        entry = {
+            "offset": offset,
+            "rows": take,
+            "sessions": len(sessions),
+            "user_lo": int(rows.user_ids.min()) if take else None,
+            "user_hi": int(rows.user_ids.max()) if take else None,
+            "start_lo": float(rows.start_us.min()) if take else None,
+            "start_hi": float(rows.start_us.max()) if take else None,
+        }
+        self._index.append(entry)
+        self._rows_done = boundary
+        self._buffered -= take
+        self._sessions_done += len(sessions)
+        self.chunks_written += 1
+
+    def _write_footer(self) -> None:
+        footer = json.dumps(
+            {
+                "chunks": self._index,
+                "rows": self._rows_done,
+                "sessions": self._sessions_done,
+            },
+            sort_keys=True, separators=(",", ":"),
+        ).encode("utf-8")
+        offset = self._stream.tell()
+        self._stream.write(struct.pack(_FRAME_FMT, _FRAME_FOOTER,
+                                       len(footer), zlib.crc32(footer)))
+        self._stream.write(footer)
+        self._stream.write(struct.pack(_TAIL_FMT, offset))
+        self._stream.write(MAGIC)
+
+
+class TeeSink:
+    """Fan one op stream out to several sinks (e.g. tally + stream file).
+
+    Batches go to batch-aware sinks as batches; any sink without
+    ``record_batch`` receives the same rows through the
+    :meth:`~repro.core.opbatch.OpBatch.to_records` bridge (converted
+    once per batch, however many scalar sinks are attached).
+    """
+
+    def __init__(self, *sinks):
+        self.sinks = sinks
+
+    def record_op(self, record: OpRecord) -> None:
+        for sink in self.sinks:
+            sink.record_op(record)
+
+    def record_session(self, record: SessionRecord) -> None:
+        for sink in self.sinks:
+            sink.record_session(record)
+
+    def record_batch(self, batch: OpBatch) -> None:
+        records = None
+        for sink in self.sinks:
+            fold = getattr(sink, "record_batch", None)
+            if fold is not None:
+                fold(batch)
+                continue
+            if records is None:
+                records = batch.to_records()
+            record_op = sink.record_op
+            for record in records:
+                record_op(record)
+
+
+class StreamFileSink:
+    """An :class:`~repro.core.oplog.OpSink` that spills to a stream file.
+
+    Drop-in for ``run_simulated(log=...)``: op rows buffer up to
+    ``memory_budget_bytes`` of column data (``rows_per_chunk`` rows at
+    the fixed :data:`ROW_BYTES` row width) and flush as one chunk frame;
+    session records embed at their exact op-row positions.  Close the
+    sink (or use it as a context manager) to write the footer index —
+    an unclosed file has no footer and readers reject it as truncated.
+
+    Scalar ``record_op`` calls are batched into columnar pieces before
+    buffering, so even a DES run writes the same chunked format.
+    """
+
+    def __init__(self, path: str,
+                 memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+                 metadata: dict | None = None):
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self._writer = StreamWriter(
+            path, rows_per_chunk_for(memory_budget_bytes), metadata=metadata)
+        self._scalar: list[OpRecord] = []
+        # Scalar records columnarise in blocks; never hold more than a
+        # chunk's worth (and keep tiny-budget tests exact).
+        self._scalar_block = min(4096, self._writer.rows_per_chunk)
+
+    @property
+    def path(self) -> str:
+        """The artifact path."""
+        return self._writer.path
+
+    @property
+    def rows_per_chunk(self) -> int:
+        """Op rows per chunk under this sink's budget."""
+        return self._writer.rows_per_chunk
+
+    @property
+    def chunks_written(self) -> int:
+        """Chunk frames flushed so far."""
+        return self._writer.chunks_written
+
+    @property
+    def buffered_rows(self) -> int:
+        """Op rows currently buffered in memory."""
+        return self._writer.buffered_rows + len(self._scalar)
+
+    def _drain_scalar(self) -> None:
+        if self._scalar:
+            records, self._scalar = self._scalar, []
+            self._writer.add_batch(OpBatch.from_records(records))
+
+    def record_op(self, record: OpRecord) -> None:
+        self._scalar.append(record)
+        if len(self._scalar) >= self._scalar_block:
+            self._drain_scalar()
+
+    def record_batch(self, batch: OpBatch) -> None:
+        self._drain_scalar()
+        self._writer.add_batch(batch)
+
+    def record_session(self, record: SessionRecord) -> None:
+        self._drain_scalar()
+        self._writer.add_session(record)
+
+    def close(self) -> None:
+        """Flush everything and finalise the artifact."""
+        self._drain_scalar()
+        self._writer.close()
+
+    def __enter__(self) -> "StreamFileSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """One footer-index entry (everything needed to seek and skip)."""
+
+    index: int
+    offset: int
+    rows: int
+    row_start: int
+    sessions: int
+    user_lo: int | None
+    user_hi: int | None
+    start_lo: float | None
+    start_hi: float | None
+
+
+@dataclass
+class StreamChunk:
+    """One decoded chunk: op rows plus positioned session records."""
+
+    index: int
+    batch: OpBatch
+    sessions: list[tuple[int, SessionRecord]]
+    row_start: int
+
+
+def _normalize_users(users) -> "np.ndarray | None":
+    if users is None:
+        return None
+    if isinstance(users, (int, np.integer)):
+        return np.array([int(users)], dtype=np.int64)
+    out = np.unique(np.asarray(sorted(int(u) for u in users),
+                               dtype=np.int64))
+    return out
+
+
+class StreamReader:
+    """Streaming, index-backed reader of one artifact file.
+
+    Opens the file, validates magic/version/header, then seeks the
+    footer through the fixed-size tail — so a reader never scans the
+    whole file to answer ``total_rows`` or to slice by user/time.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        try:
+            self._stream = open(path, "rb")
+        except OSError as exc:
+            raise StreamFormatError(f"cannot open stream file: {exc}") from None
+        try:
+            self._size = os.fstat(self._stream.fileno()).st_size
+            self._read_header()
+            self._read_footer()
+        except BaseException:
+            self._stream.close()
+            raise
+
+    # -- parsing --------------------------------------------------------------
+
+    def _must_read(self, n: int, what: str) -> bytes:
+        # Bound by the file size before reading: a corrupt length field
+        # must surface as StreamFormatError, not as a huge allocation.
+        if n > self._size:
+            raise StreamFormatError(f"truncated stream file: {what}")
+        raw = self._stream.read(n)
+        if len(raw) != n:
+            raise StreamFormatError(f"truncated stream file: {what}")
+        return raw
+
+    def _read_header(self) -> None:
+        magic = self._stream.read(len(MAGIC))
+        if magic != MAGIC:
+            raise StreamFormatError(
+                f"{self.path!r} is not an op-stream file (bad magic)"
+            )
+        (version,) = struct.unpack("<H", self._must_read(2, "version"))
+        if version > FORMAT_VERSION:
+            raise StreamFormatError(
+                f"stream format version {version} is newer than this "
+                f"reader (supports <= {FORMAT_VERSION})"
+            )
+        self.version = version
+        length, crc = struct.unpack(
+            _HEAD_FMT, self._must_read(struct.calcsize(_HEAD_FMT), "header"))
+        raw = self._must_read(length, "header JSON")
+        if zlib.crc32(raw) != crc:
+            raise StreamFormatError("header failed its checksum")
+        try:
+            header = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise StreamFormatError(f"corrupt header JSON: {exc}") from None
+        self.header = header
+        if int(header.get("version", -1)) != version:
+            raise StreamFormatError(
+                f"header version {header.get('version')!r} disagrees with "
+                f"the file's version field {version} (corrupt header?)"
+            )
+        self.rows_per_chunk = int(header["rows_per_chunk"])
+        self.metadata = dict(header.get("metadata", {}))
+        self.kinds = tuple(header.get("kinds", ()))
+        if self.kinds != OP_KIND_NAMES:
+            raise StreamFormatError(
+                "stream file kind table does not match this build: "
+                f"{self.kinds!r}"
+            )
+        if [tuple(c) for c in header.get("columns", [])] != list(_COLUMNS):
+            raise StreamFormatError("stream file column schema mismatch")
+
+    def _read_footer(self) -> None:
+        self._stream.seek(0, os.SEEK_END)
+        size = self._stream.tell()
+        if size < _TAIL_BYTES:
+            raise StreamFormatError("truncated stream file: no tail")
+        self._stream.seek(size - _TAIL_BYTES)
+        tail = self._must_read(_TAIL_BYTES, "tail")
+        if tail[struct.calcsize(_TAIL_FMT):] != MAGIC:
+            raise StreamFormatError(
+                "truncated stream file: missing footer (was the writer "
+                "closed?)"
+            )
+        (footer_offset,) = struct.unpack(
+            _TAIL_FMT, tail[:struct.calcsize(_TAIL_FMT)])
+        if not (0 < footer_offset < size - _TAIL_BYTES):
+            raise StreamFormatError("corrupt tail: footer offset out of range")
+        kind, payload = self._read_frame(footer_offset, "footer")
+        if kind != _FRAME_FOOTER:
+            raise StreamFormatError("corrupt tail: offset is not a footer")
+        try:
+            footer = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise StreamFormatError(f"corrupt footer JSON: {exc}") from None
+        self.total_rows = int(footer["rows"])
+        self.total_sessions = int(footer["sessions"])
+        self._footer_offset = footer_offset
+        chunks = []
+        row_start = 0
+        for i, entry in enumerate(footer["chunks"]):
+            chunks.append(ChunkInfo(
+                index=i,
+                offset=int(entry["offset"]),
+                rows=int(entry["rows"]),
+                row_start=row_start,
+                sessions=int(entry["sessions"]),
+                user_lo=entry["user_lo"],
+                user_hi=entry["user_hi"],
+                start_lo=entry["start_lo"],
+                start_hi=entry["start_hi"],
+            ))
+            row_start += int(entry["rows"])
+        if row_start != self.total_rows:
+            raise StreamFormatError("corrupt footer: chunk rows disagree "
+                                    "with the total")
+        self.chunk_index: tuple[ChunkInfo, ...] = tuple(chunks)
+
+    def _read_frame(self, offset: int, what: str):
+        self._stream.seek(offset)
+        head = self._must_read(struct.calcsize(_FRAME_FMT),
+                               f"{what} frame header")
+        kind, length, crc = struct.unpack(_FRAME_FMT, head)
+        payload = self._must_read(length, f"{what} payload")
+        if zlib.crc32(payload) != crc:
+            raise StreamFormatError(f"{what} failed its checksum")
+        return kind, payload
+
+    # -- access ---------------------------------------------------------------
+
+    def read_chunk(self, index: int) -> StreamChunk:
+        """Decode chunk ``index`` (CRC-checked seek through the footer)."""
+        info = self.chunk_index[index]
+        kind, payload = self._read_frame(info.offset, f"chunk {index}")
+        if kind != _FRAME_CHUNK:
+            raise StreamFormatError(f"chunk {index}: not a chunk frame")
+        batch, sessions = _decode_chunk(payload, f"chunk {index}")
+        if len(batch) != info.rows or len(sessions) != info.sessions:
+            raise StreamFormatError(
+                f"chunk {index}: payload disagrees with the footer index"
+            )
+        return StreamChunk(index=index, batch=batch, sessions=sessions,
+                           row_start=info.row_start)
+
+    def _chunk_matches(self, info: ChunkInfo, users: "np.ndarray | None",
+                       time_range) -> bool:
+        if info.rows == 0:
+            return users is None and time_range is None
+        if users is not None:
+            inside = users[(users >= info.user_lo) & (users <= info.user_hi)]
+            if inside.size == 0:
+                return False
+        if time_range is not None:
+            lo, hi = time_range
+            if info.start_hi < lo or info.start_lo >= hi:
+                return False
+        return True
+
+    def iter_chunks(self, users=None, time_range=None) -> Iterator[StreamChunk]:
+        """Yield chunks in order, skipping via the footer index.
+
+        ``users`` is a user id or an iterable of them; ``time_range`` a
+        ``(lo, hi)`` half-open window over op start times.  Filters are
+        applied chunk-wise here (a yielded chunk may still contain other
+        rows); :meth:`iter_batches` applies the row-level mask.
+        """
+        users = _normalize_users(users)
+        for info in self.chunk_index:
+            if self._chunk_matches(info, users, time_range):
+                yield self.read_chunk(info.index)
+
+    def iter_batches(self, users=None, time_range=None) -> Iterator[OpBatch]:
+        """Yield op-row batches, row-filtered by user and time window."""
+        norm = _normalize_users(users)
+        for chunk in self.iter_chunks(users=users, time_range=time_range):
+            batch = chunk.batch
+            if norm is None and time_range is None:
+                if len(batch):
+                    yield batch
+                continue
+            mask = np.ones(len(batch), dtype=bool)
+            if norm is not None:
+                mask &= np.isin(batch.user_ids, norm)
+            if time_range is not None:
+                lo, hi = time_range
+                mask &= (batch.start_us >= lo) & (batch.start_us < hi)
+            if mask.any():
+                yield batch.select(mask)
+
+    def replay(self, sink) -> tuple[int, int]:
+        """Re-emit the artifact's exact event stream into ``sink``.
+
+        Ops go through ``record_batch`` when the sink has one (the
+        fast-columnar consumption path), else through the record bridge;
+        session summaries interleave at their recorded positions.
+        Returns ``(op_rows, sessions)`` replayed.  Replaying into a new
+        :class:`StreamFileSink` with the same budget reproduces the
+        artifact byte for byte.
+        """
+        record_batch = getattr(sink, "record_batch", None)
+        rows = sessions = 0
+        for chunk in self.iter_chunks():
+            batch = chunk.batch
+            cursor = 0
+            for position, record in chunk.sessions:
+                local = min(max(position - chunk.row_start, 0), len(batch))
+                if local > cursor:
+                    piece = batch.select(slice(cursor, local))
+                    if record_batch is not None:
+                        record_batch(piece)
+                    else:
+                        for op in piece.to_records():
+                            sink.record_op(op)
+                    cursor = local
+                sink.record_session(record)
+                sessions += 1
+            if cursor < len(batch):
+                piece = batch.select(slice(cursor, len(batch)))
+                if record_batch is not None:
+                    record_batch(piece)
+                else:
+                    for op in piece.to_records():
+                        sink.record_op(op)
+            rows += len(batch)
+        return rows, sessions
+
+    def info_kv(self) -> dict:
+        """Human-readable summary (the ``stream info`` CLI verb)."""
+        users = [c for c in self.chunk_index if c.rows]
+        out = {
+            "path": self.path,
+            "format version": self.version,
+            "op rows": self.total_rows,
+            "sessions": self.total_sessions,
+            "chunks": len(self.chunk_index),
+            "rows per chunk": self.rows_per_chunk,
+            "file bytes": os.path.getsize(self.path),
+        }
+        if users:
+            out["user ids"] = (f"{min(c.user_lo for c in users)}.."
+                               f"{max(c.user_hi for c in users)}")
+            out["op start span (µs)"] = (
+                f"{min(c.start_lo for c in users):.1f}.."
+                f"{max(c.start_hi for c in users):.1f}")
+        for key, value in sorted(self.metadata.items()):
+            out[f"meta.{key}"] = value
+        return out
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        self._stream.close()
+
+    def __enter__(self) -> "StreamReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def iter_batches(path: str, users=None, time_range=None) -> Iterator[OpBatch]:
+    """Stream an artifact's op rows (module-level convenience).
+
+    Opens ``path``, yields :class:`~repro.core.opbatch.OpBatch` chunks
+    (row-filtered by ``users`` / ``time_range`` like
+    :meth:`StreamReader.iter_batches`), and closes the file when the
+    iterator is exhausted or discarded.
+    """
+    with StreamReader(path) as reader:
+        yield from reader.iter_batches(users=users, time_range=time_range)
+
+
+# ---------------------------------------------------------------------------
+# Shard merge
+# ---------------------------------------------------------------------------
+
+
+def _iter_user_groups(reader: StreamReader):
+    """Yield ``(user_id, events)`` per user, in the artifact's order.
+
+    ``events`` is the user's slice of the event stream: ``("rows",
+    batch)`` and ``("session", record)`` entries in arrival order.
+    Requires user-contiguous artifacts (each user's events form one run,
+    users in ascending order) — what the engine-free backends write.
+    DES artifacts interleave users on the shared engine clock and are
+    rejected.
+    """
+    current: int | None = None
+    events: list = []
+    for chunk in reader.iter_chunks():
+        batch = chunk.batch
+        n = len(batch)
+        boundaries: list[tuple[int, SessionRecord | None]] = [
+            (min(max(pos - chunk.row_start, 0), n), rec)
+            for pos, rec in chunk.sessions
+        ]
+        boundaries.append((n, None))
+        cursor = 0
+        for local, record in boundaries:
+            if local > cursor:
+                seg = batch.select(slice(cursor, local))
+                uids = seg.user_ids
+                splits = list(np.flatnonzero(np.diff(uids)) + 1) + [len(seg)]
+                start = 0
+                for stop in splits:
+                    sub = seg.select(slice(start, int(stop)))
+                    uid = int(sub.user_ids[0])
+                    if uid != current:
+                        if current is not None:
+                            yield current, events
+                            if uid <= current:
+                                raise StreamFormatError(
+                                    f"{reader.path}: user {uid} follows "
+                                    f"user {current}; stream merge needs "
+                                    "user-contiguous artifacts (engine-free "
+                                    "backends)"
+                                )
+                        current, events = uid, []
+                    events.append(("rows", sub))
+                    start = int(stop)
+                cursor = local
+            if record is not None:
+                uid = record.user_id
+                if uid != current:
+                    if current is not None:
+                        yield current, events
+                        if uid <= current:
+                            raise StreamFormatError(
+                                f"{reader.path}: session for user {uid} "
+                                f"follows user {current}; stream merge "
+                                "needs user-contiguous artifacts"
+                            )
+                    current, events = uid, []
+                events.append(("session", record))
+    if current is not None:
+        yield current, events
+
+
+def merge_stream_files(output: str, inputs: Iterable[str],
+                       metadata: dict | None = None) -> int:
+    """K-way merge per-shard artifacts into one canonical file.
+
+    Inputs must share the format version, schema and ``rows_per_chunk``
+    and hold disjoint, user-contiguous populations (what
+    ``run_fleet(..., out_stream=...)`` shards write).  Users interleave
+    back into ascending id order — the engine-free backends' canonical
+    execution order — and the event stream is re-chunked under the same
+    deterministic boundary rule, so the merged artifact is **bit
+    identical** to the one a single-shard run writes.  Returns the
+    number of op rows merged.
+
+    ``metadata`` defaults to the first input's (shard metadata is
+    run-level and identical across shards).
+    """
+    paths = list(inputs)
+    if not paths:
+        raise ValueError("merge_stream_files needs at least one input")
+    readers = [StreamReader(p) for p in paths]
+    try:
+        first = readers[0]
+        for reader in readers[1:]:
+            if reader.version != first.version:
+                raise StreamFormatError(
+                    f"{reader.path}: format version {reader.version} != "
+                    f"{first.version}"
+                )
+            if reader.rows_per_chunk != first.rows_per_chunk:
+                raise StreamFormatError(
+                    f"{reader.path}: rows_per_chunk "
+                    f"{reader.rows_per_chunk} != {first.rows_per_chunk}; "
+                    "shards must share one memory budget"
+                )
+        if metadata is None:
+            metadata = first.metadata
+        groups = [_iter_user_groups(r) for r in readers]
+        heads: dict[int, tuple[int, list]] = {}
+        for i, group in enumerate(groups):
+            head = next(group, None)
+            if head is not None:
+                heads[i] = head
+        rows = 0
+        try:
+            with StreamWriter(output, first.rows_per_chunk,
+                              metadata=metadata) as writer:
+                while heads:
+                    source = min(heads, key=lambda i: heads[i][0])
+                    uid, events = heads[source]
+                    clashes = [i for i, (u, _) in heads.items()
+                               if u == uid and i != source]
+                    if clashes:
+                        raise StreamFormatError(
+                            f"user {uid} appears in both "
+                            f"{readers[source].path} and "
+                            f"{readers[clashes[0]].path}; shards must be "
+                            "disjoint"
+                        )
+                    for kind, payload in events:
+                        if kind == "rows":
+                            writer.add_batch(payload)
+                            rows += len(payload)
+                        else:
+                            writer.add_session(payload)
+                    head = next(groups[source], None)
+                    if head is None:
+                        del heads[source]
+                    else:
+                        heads[source] = head
+        except BaseException:
+            # Never leave a half-written artifact behind.
+            with contextlib.suppress(OSError):
+                os.unlink(output)
+            raise
+        return rows
+    finally:
+        for reader in readers:
+            reader.close()

@@ -40,9 +40,15 @@ from ..core.arrivals import (
     ArrivalModel,
     get_profile,
 )
-from ..core.generator import RUN_BACKENDS, WorkloadGenerator
+from ..core.generator import FAST_BACKENDS, RUN_BACKENDS, WorkloadGenerator
 from ..core.oplog import UsageLog
 from ..core.spec import SpecError, WorkloadSpec
+from ..core.streamfile import (
+    DEFAULT_MEMORY_BUDGET,
+    StreamFileSink,
+    TeeSink,
+    merge_stream_files,
+)
 from ..core.synthesis import PhaseModel
 from ..sim import RunningStats
 from .merge import ShardAccumulator, WorkloadTally
@@ -99,6 +105,8 @@ class FleetConfig:
     arrival_model: ArrivalModel | None = None
     profile: str | None = None
     window_us: float | None = None
+    out_stream: str | None = None
+    stream_budget_bytes: int | None = None
 
     def __post_init__(self):
         if (self.scenario is None) == (self.spec is None):
@@ -128,6 +136,24 @@ class FleetConfig:
         if self.window_us is not None and not self.window_us > 0:
             raise SpecError(
                 f"window_us must be > 0, got {self.window_us}"
+            )
+        if self.stream_budget_bytes is not None:
+            if self.stream_budget_bytes < 1:
+                raise SpecError(
+                    f"stream_budget_bytes must be >= 1, got "
+                    f"{self.stream_budget_bytes}"
+                )
+            if self.out_stream is None:
+                raise SpecError(
+                    "stream_budget_bytes needs out_stream to be set"
+                )
+        if (self.out_stream is not None and self.shards > 1
+                and self.backend not in FAST_BACKENDS):
+            raise SpecError(
+                "out_stream with shards > 1 needs an engine-free backend "
+                f"({FAST_BACKENDS}): the streaming shard merge relies on "
+                "user-contiguous artifacts, and the DES interleaves users "
+                "on a shared clock"
             )
 
     @property
@@ -178,6 +204,7 @@ class FleetResult:
     wall_s: float
     log: UsageLog | None = None
     plans: tuple[ShardPlan, ...] = field(default=())
+    out_stream: str | None = None
 
     @property
     def simulated_us(self) -> float:
@@ -221,6 +248,9 @@ class _ShardTask:
     time_limit_us: float | None
     arrival_model: ArrivalModel | None = None
     window_us: float | None = None
+    stream_path: str | None = None
+    stream_budget_bytes: int = DEFAULT_MEMORY_BUDGET
+    stream_metadata: "dict | None" = None
 
 
 def _resolve_arrivals(config: FleetConfig,
@@ -274,17 +304,34 @@ def _run_shard(task: _ShardTask) -> ShardOutcome:
     started = time.perf_counter()
     sink = ShardAccumulator(collect_ops=task.collect_ops,
                             window_us=task.window_us)
+    log_sink = sink
+    stream_sink = None
+    if task.stream_path is not None:
+        # Spill this shard's op stream to its own artifact file; the
+        # coordinator merges shard files into the run-level artifact.
+        # Metadata is run-level (identical across shards) so the merged
+        # header is bit-identical to a 1-shard run's.
+        stream_sink = StreamFileSink(
+            task.stream_path,
+            memory_budget_bytes=task.stream_budget_bytes,
+            metadata=task.stream_metadata,
+        )
+        log_sink = TeeSink(sink, stream_sink)
     generator = WorkloadGenerator(task.spec)
-    result = generator.run_simulated(
-        sessions_per_user=task.sessions_per_user,
-        backend=task.backend,
-        access_pattern=task.access_pattern,
-        phase_model_factory=PhaseModel if task.use_phase_model else None,
-        time_limit_us=task.time_limit_us,
-        user_ids=plan.user_ids,
-        log=sink,
-        arrivals=task.arrival_model,
-    )
+    try:
+        result = generator.run_simulated(
+            sessions_per_user=task.sessions_per_user,
+            backend=task.backend,
+            access_pattern=task.access_pattern,
+            phase_model_factory=PhaseModel if task.use_phase_model else None,
+            time_limit_us=task.time_limit_us,
+            user_ids=plan.user_ids,
+            log=log_sink,
+            arrivals=task.arrival_model,
+        )
+    finally:
+        if stream_sink is not None:
+            stream_sink.close()
     return ShardOutcome(
         shard_index=plan.shard_index,
         shard_seed=plan.shard_seed,
@@ -328,6 +375,28 @@ def run_fleet(config: FleetConfig) -> FleetResult:
             f"expected {config.users}"
         )
     plans = plan_shards(spec.n_users, config.shards, config.root_seed)
+    stream_budget = config.stream_budget_bytes or DEFAULT_MEMORY_BUDGET
+    shard_paths: list[str] = []
+    stream_metadata = None
+    if config.out_stream is not None:
+        # Run-level metadata only — anything shard-specific here would
+        # make the merged artifact's header differ from a 1-shard run's.
+        stream_metadata = {
+            "tool": "repro-fleet",
+            "scenario": config.scenario or "custom-spec",
+            "backend": config.backend,
+            "seed": config.root_seed,
+            "users": spec.n_users,
+            "sessions_per_user": sessions,
+            "access_pattern": pattern,
+            "phases": phases,
+            "arrivals": model is not None,
+        }
+        shard_paths = (
+            [config.out_stream] if config.shards == 1
+            else [f"{config.out_stream}.shard{plan.shard_index:04d}"
+                  for plan in plans]
+        )
     tasks = [
         _ShardTask(
             spec=spec,
@@ -340,17 +409,36 @@ def run_fleet(config: FleetConfig) -> FleetResult:
             time_limit_us=config.time_limit_us,
             arrival_model=model,
             window_us=window_us,
+            stream_path=(shard_paths[plan.shard_index]
+                         if shard_paths else None),
+            stream_budget_bytes=stream_budget,
+            stream_metadata=stream_metadata,
         )
         for plan in plans
     ]
     workers = config.effective_workers()
 
     started = time.perf_counter()
-    if workers == 1:
-        outcomes = [_run_shard(task) for task in tasks]
-    else:
-        with _pool_context().Pool(processes=workers) as pool:
-            outcomes = pool.map(_run_shard, tasks)
+    try:
+        if workers == 1:
+            outcomes = [_run_shard(task) for task in tasks]
+        else:
+            with _pool_context().Pool(processes=workers) as pool:
+                outcomes = pool.map(_run_shard, tasks)
+        if config.out_stream is not None and config.shards > 1:
+            # Streaming k-way merge by user id: holds one user's events
+            # per shard plus one chunk buffer, never the run.  The
+            # result is bit-identical to the artifact a 1-shard run
+            # writes (same events, same deterministic chunk boundaries).
+            merge_stream_files(config.out_stream, shard_paths,
+                               metadata=stream_metadata)
+    finally:
+        if config.shards > 1:
+            for path in shard_paths:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
     wall_s = time.perf_counter() - started
 
     outcomes.sort(key=lambda o: o.shard_index)
@@ -365,4 +453,5 @@ def run_fleet(config: FleetConfig) -> FleetResult:
         wall_s=wall_s,
         log=merged_log,
         plans=plans,
+        out_stream=config.out_stream,
     )

@@ -12,8 +12,14 @@ identity check re-asserts before timing anything.
 
 import pytest
 
-from repro.core import PhaseModel, WorkloadGenerator, paper_workload_spec
+from repro.core import (
+    PhaseModel,
+    StreamReader,
+    WorkloadGenerator,
+    paper_workload_spec,
+)
 from repro.fleet import FleetConfig, run_fleet
+from repro.fleet.merge import ShardAccumulator
 from repro.scenarios import get_scenario, scenario_names
 from repro.vfs import MemoryFileSystem
 
@@ -148,3 +154,33 @@ class TestFleetTallies:
         ]
         assert runs[0].tally == runs[1].tally
         assert runs[0].tally.operations > 0
+
+
+class TestStreamArtifactsAcrossScenarios:
+    """Every scenario's on-disk op stream equals its in-RAM stream."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_artifact_replays_to_run_tally(self, name, tmp_path):
+        path = tmp_path / "run.opstream"
+        result = run_fleet(FleetConfig(
+            scenario=name, users=4, shards=1, workers=1, seed=3,
+            backend="fast-columnar", out_stream=str(path),
+        ))
+        replayed = ShardAccumulator()
+        with StreamReader(str(path)) as reader:
+            rows, sessions = reader.replay(replayed)
+        assert replayed.tally == result.tally
+        assert rows == result.tally.operations > 0
+        assert sessions == result.tally.sessions
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_merged_shards_bit_identical(self, name, tmp_path):
+        blobs = []
+        for shards in (1, 2):
+            path = tmp_path / f"s{shards}.opstream"
+            run_fleet(FleetConfig(
+                scenario=name, users=4, shards=shards, workers=1, seed=3,
+                backend="fast-columnar", out_stream=str(path),
+            ))
+            blobs.append(path.read_bytes())
+        assert blobs[0] == blobs[1]

@@ -154,3 +154,67 @@ class TestFleetConfigValidation:
 
     def test_workers_capped_by_shards(self):
         assert _config(shards=2, workers=16).effective_workers() == 2
+
+
+class TestFleetOutStream:
+    """run_fleet(out_stream=...): artifacts, shard merge, cleanup."""
+
+    def _stream_config(self, path, **overrides):
+        return _config(backend="fast-columnar", out_stream=str(path),
+                       **overrides)
+
+    def test_multiprocess_merge_matches_single_shard(self, tmp_path):
+        blobs = []
+        for shards, workers in ((1, 1), (3, 2)):
+            path = tmp_path / f"s{shards}.opstream"
+            result = run_fleet(self._stream_config(
+                path, shards=shards, workers=workers))
+            assert result.out_stream == str(path)
+            blobs.append(path.read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_shard_temp_files_are_cleaned_up(self, tmp_path):
+        path = tmp_path / "fleet.opstream"
+        run_fleet(self._stream_config(path, shards=3))
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["fleet.opstream"]
+
+    def test_artifact_replays_to_fleet_tally(self, tmp_path):
+        from repro.core import StreamReader
+        from repro.fleet.merge import ShardAccumulator
+
+        path = tmp_path / "fleet.opstream"
+        result = run_fleet(self._stream_config(path, shards=2))
+        sink = ShardAccumulator()
+        with StreamReader(str(path)) as reader:
+            reader.replay(sink)
+        assert sink.tally == result.tally
+
+    def test_budget_shapes_chunking(self, tmp_path):
+        from repro.core import StreamReader
+        from repro.core.streamfile import ROW_BYTES
+
+        path = tmp_path / "fleet.opstream"
+        run_fleet(self._stream_config(
+            path, stream_budget_bytes=ROW_BYTES * 32))
+        with StreamReader(str(path)) as reader:
+            assert reader.rows_per_chunk == 32
+            assert len(reader.chunk_index) > 1
+
+    def test_rejects_sharded_des_stream(self, tmp_path):
+        with pytest.raises(SpecError, match="engine-free"):
+            _config(backend="nfs", shards=2,
+                    out_stream=str(tmp_path / "x.opstream"))
+
+    def test_rejects_budget_without_stream(self):
+        with pytest.raises(SpecError):
+            _config(stream_budget_bytes=1 << 20)
+
+    def test_single_shard_des_stream_allowed(self, tmp_path):
+        from repro.core import StreamReader
+
+        path = tmp_path / "des.opstream"
+        result = run_fleet(_config(backend="nfs", shards=1,
+                                   out_stream=str(path)))
+        with StreamReader(str(path)) as reader:
+            assert reader.total_rows == result.tally.operations > 0

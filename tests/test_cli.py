@@ -290,3 +290,104 @@ class TestTraceCommands:
         out = capsys.readouterr().out
         assert code == 1
         assert "FAIL" in out
+
+
+class TestStreamCommands:
+    """`simulate --out-stream` and the `stream` verb family."""
+
+    def simulate_artifact(self, tmp_path, **extra):
+        path = tmp_path / "run.opstream"
+        code = main(["simulate", "--users", "2", "--sessions", "1",
+                     "--files", "80", "--backend", "fast-columnar",
+                     "--seed", "9", "--out-stream", str(path)])
+        assert code == 0
+        return path
+
+    def test_stream_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream"])
+
+    def test_parser_accepts_stream_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--out-stream", "a.opstream",
+             "--stream-budget-bytes", "4096"])
+        assert args.out_stream == "a.opstream"
+        assert args.stream_budget_bytes == 4096
+        args = build_parser().parse_args(
+            ["fleet", "run", "--out-stream", "b.opstream"])
+        assert args.out_stream == "b.opstream"
+        args = build_parser().parse_args(
+            ["stream", "replay", "x.opstream", "--users", "1,2",
+             "--window-us", "0:100"])
+        assert args.streamfile == "x.opstream"
+
+    def test_simulate_then_info(self, tmp_path, capsys):
+        path = self.simulate_artifact(tmp_path)
+        out = capsys.readouterr().out
+        assert "op stream" in out and str(path) in out
+        code = main(["stream", "info", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Op-stream artifact" in out
+        assert "op rows" in out
+        assert "meta.tool" in out
+
+    def test_replay_round_trip(self, tmp_path, capsys):
+        path = self.simulate_artifact(tmp_path)
+        capsys.readouterr()
+        oplog = tmp_path / "replay.log"
+        code = main(["stream", "replay", str(path),
+                     "--oplog", str(oplog)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Replayed" in out
+        assert "sessions replayed" in out
+        from repro.core import UsageLog
+
+        log = UsageLog.load(oplog.read_text().splitlines())
+        assert len(log.sessions) == 2
+        assert len(log.operations) > 0
+
+    def test_replay_sliced_by_user(self, tmp_path, capsys):
+        path = self.simulate_artifact(tmp_path)
+        capsys.readouterr()
+        code = main(["stream", "replay", str(path), "--users", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(sliced)" in out
+
+    def test_merge_single_input_is_identity(self, tmp_path, capsys):
+        path = self.simulate_artifact(tmp_path)
+        merged = tmp_path / "merged.opstream"
+        code = main(["stream", "merge", str(path), "-o", str(merged)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "merged" in out
+        assert merged.read_bytes() == path.read_bytes()
+
+    def test_info_missing_file_fails_loudly(self, tmp_path, capsys):
+        code = main(["stream", "info", str(tmp_path / "nope.opstream")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_fleet_out_stream_shard_invariant(self, tmp_path, capsys):
+        blobs = []
+        for shards in ("1", "2"):
+            path = tmp_path / f"s{shards}.opstream"
+            code = main(["fleet", "run", "--scenario", "dev-team",
+                         "--users", "2", "--shards", shards,
+                         "--workers", "1", "--files", "60",
+                         "--backend", "fast-columnar",
+                         "--out-stream", str(path)])
+            assert code == 0
+            blobs.append(path.read_bytes())
+        out = capsys.readouterr().out
+        assert "op-stream artifact" in out
+        assert blobs[0] == blobs[1]
+
+    def test_fleet_out_stream_rejects_sharded_des(self, capsys):
+        code = main(["fleet", "run", "--scenario", "dev-team",
+                     "--users", "2", "--shards", "2", "--files", "60",
+                     "--out-stream", "never-written.opstream"])
+        assert code != 0
