@@ -23,6 +23,13 @@ and once with the scenario's arrival model (diurnal session timing).
 The identity check also runs both ways: arrivals must move the
 timeline without touching the op stream.
 
+Observability: the columnar backend is additionally timed with a full
+:class:`repro.obs.RunObserver` attached (metrics registry, stage spans,
+instrumented sink, manifest write) and the overhead is recorded as
+``metrics_overhead_pct`` with a <= 3% floor at full size; a
+record-for-record identity check proves the observer never perturbs the
+op stream on any backend.
+
 The fast paths are timed best-of-``BENCH_BACKENDS_REPEATS`` (default 3)
 because their runs are short enough for scheduler noise to matter; the
 DES run is long and timed once.
@@ -38,14 +45,20 @@ Run either way::
     PYTHONPATH=src python benchmarks/bench_backends.py
 """
 
-import json
 import os
+import tempfile
 import time
 
 from repro.core import WorkloadGenerator
 from repro.fleet import FleetConfig, run_fleet
 from repro.harness import format_table
+from repro.obs import RunObserver
 from repro.scenarios import get_scenario
+
+try:
+    from ._env import write_results_json as _write_env_json
+except ImportError:  # script mode: benchmarks/ is sys.path[0]
+    from _env import write_results_json as _write_env_json
 
 DEFAULT_USERS = 240
 DEFAULT_SESSIONS = 4
@@ -55,6 +68,7 @@ BACKENDS = ("nfs", "fast", "fast-columnar")
 MIN_SPEEDUP = 5.0                  # fast over DES
 MIN_COLUMNAR_OVER_FAST = 4.0       # fast-columnar over fast
 MIN_COLUMNAR_OVER_SIM = 20.0       # fast-columnar over DES
+MAX_METRICS_OVERHEAD_PCT = 3.0     # metrics-on columnar vs metrics-off
 DEFAULT_JSON_PATH = "BENCH_backends.json"
 
 USERS = int(os.environ.get("BENCH_BACKENDS_USERS", DEFAULT_USERS))
@@ -115,19 +129,63 @@ def assert_identical_streams(users: int, seed: int = SEED,
     return sum(len(ops) for ops in reference.values())
 
 
+def assert_metrics_noninvasive(users: int, seed: int = SEED) -> int:
+    """Observer-on runs must record exactly the observer-off op stream.
+
+    Runs every backend twice — once bare, once under a fully enabled
+    :class:`~repro.obs.RunObserver` — and asserts the recorded
+    operations and sessions are equal record-for-record (timing
+    included).  This is the zero-perturbation guarantee: metrics read
+    the event stream, they never touch RNG streams or op bytes.
+
+    Returns the number of ops compared.
+    """
+    scenario = get_scenario(SCENARIO)
+    spec = scenario.build(users, seed)
+    compared = 0
+    for backend in BACKENDS:
+        bare = WorkloadGenerator(spec).run_simulated(
+            sessions_per_user=scenario.default_sessions,
+            backend=backend,
+            access_pattern=scenario.access_pattern,
+        )
+        observed = WorkloadGenerator(spec).run_simulated(
+            sessions_per_user=scenario.default_sessions,
+            backend=backend,
+            access_pattern=scenario.access_pattern,
+            observer=RunObserver(),
+        )
+        assert bare.log.operations == observed.log.operations, (
+            f"{backend}: enabling the observer changed the op stream"
+        )
+        assert bare.log.sessions == observed.log.sessions, (
+            f"{backend}: enabling the observer changed session records"
+        )
+        compared += len(bare.log.operations)
+    return compared
+
+
 def _timed_run(backend: str, users: int, seed: int, repeats: int,
-               arrivals: bool = False):
+               arrivals: bool = False, metrics: bool = False):
     """Best-of-``repeats`` fleet run; returns (wall_s, tally)."""
     best = None
     result = None
     for _ in range(repeats):
-        started = time.perf_counter()
-        result = run_fleet(FleetConfig(
-            scenario=SCENARIO, users=users, shards=1, workers=1, seed=seed,
-            backend=backend, sessions_per_user=SESSIONS,
-            use_arrivals=arrivals,
-        ))
-        wall_s = time.perf_counter() - started
+        metrics_out = None
+        if metrics:
+            fd, metrics_out = tempfile.mkstemp(suffix=".manifest.json")
+            os.close(fd)
+        try:
+            started = time.perf_counter()
+            result = run_fleet(FleetConfig(
+                scenario=SCENARIO, users=users, shards=1, workers=1,
+                seed=seed, backend=backend, sessions_per_user=SESSIONS,
+                use_arrivals=arrivals, metrics_out=metrics_out,
+            ))
+            wall_s = time.perf_counter() - started
+        finally:
+            if metrics_out is not None:
+                os.unlink(metrics_out)
         best = wall_s if best is None else min(best, wall_s)
     return best, result
 
@@ -170,9 +228,31 @@ def backend_throughput_results(users: int = None, seed: int = SEED) -> dict:
     checked_ops = assert_identical_streams(check_users, seed)
     checked_ops_arrivals = assert_identical_streams(check_users, seed,
                                                     arrivals=True)
+    checked_ops_metrics = assert_metrics_noninvasive(check_users, seed)
 
     runs, wall_by_backend = _timed_sweep(users, seed, arrivals=False)
     runs_arrivals, wall_arrivals = _timed_sweep(users, seed, arrivals=True)
+
+    # Observability overhead: the columnar hot path re-timed with a full
+    # observer (registry + spans + instrumented sink + manifest write);
+    # its floor is that ops/s stays within MAX_METRICS_OVERHEAD_PCT of
+    # the metrics-off run.
+    wall_metrics, result_metrics = _timed_run(
+        "fast-columnar", users, seed, REPEATS, metrics=True)
+    run_metrics = {
+        "backend": "fast-columnar",
+        "arrivals": False,
+        "metrics": True,
+        "wall_s": wall_metrics,
+        "repeats": REPEATS,
+        "ops": result_metrics.tally.operations,
+        "ops_per_s": (result_metrics.tally.operations / wall_metrics
+                      if wall_metrics > 0 else 0.0),
+    }
+    baseline = wall_by_backend["fast-columnar"]
+    metrics_overhead_pct = (
+        (wall_metrics / baseline - 1.0) * 100.0 if baseline > 0 else 0.0
+    )
 
     def speedup(walls, numerator, denominator):
         if walls[denominator] <= 0:
@@ -189,6 +269,8 @@ def backend_throughput_results(users: int = None, seed: int = SEED) -> dict:
         "identity_checked_users": check_users,
         "identity_checked_ops": checked_ops,
         "identity_checked_ops_arrivals": checked_ops_arrivals,
+        "identity_checked_ops_metrics": checked_ops_metrics,
+        "metrics_overhead_pct": metrics_overhead_pct,
         "speedup_fast_over_sim": speedup(wall_by_backend, "nfs", "fast"),
         "speedup_columnar_over_fast": speedup(
             wall_by_backend, "fast", "fast-columnar"),
@@ -198,27 +280,28 @@ def backend_throughput_results(users: int = None, seed: int = SEED) -> dict:
             wall_arrivals, "nfs", "fast-columnar"),
         "runs": runs,
         "runs_arrivals": runs_arrivals,
+        "run_metrics": run_metrics,
     }
 
 
 def write_results_json(results: dict, path: str = None) -> str:
-    """Write the result dict as JSON; returns the path written."""
-    path = JSON_PATH if path is None else path
-    with open(path, "w", encoding="utf-8") as stream:
-        json.dump(results, stream, indent=2, sort_keys=True)
-        stream.write("\n")
-    return path
+    """Write the result dict (env-stamped) as JSON; returns the path."""
+    return _write_env_json(results, JSON_PATH if path is None else path)
 
 
 def results_table(results: dict) -> str:
     """Render the result dict as the human-readable table."""
+    timed = results["runs"] + results.get("runs_arrivals", [])
+    if results.get("run_metrics"):
+        timed = timed + [results["run_metrics"]]
     rows = [
         (run["backend"], "yes" if run.get("arrivals") else "no",
+         "yes" if run.get("metrics") else "no",
          run["wall_s"], run["ops"], run["ops_per_s"])
-        for run in results["runs"] + results.get("runs_arrivals", [])
+        for run in timed
     ]
     return format_table(
-        ["backend", "arrivals", "wall s", "ops", "ops/s"],
+        ["backend", "arrivals", "metrics", "wall s", "ops", "ops/s"],
         rows,
         title=(
             f"Backend throughput — {results['scenario']}, "
@@ -229,7 +312,8 @@ def results_table(results: dict) -> str:
             f"{results['speedup_columnar_over_fast']:.1f}x fast "
             f"({results['speedup_columnar_over_sim']:.1f}x sim, "
             f"{results['speedup_columnar_over_sim_arrivals']:.1f}x sim "
-            f"with arrivals)"
+            f"with arrivals); metrics overhead "
+            f"{results['metrics_overhead_pct']:+.1f}%"
         ),
     )
 
@@ -254,6 +338,11 @@ def check_speedup_floors(results: dict) -> list[str]:
             failures.append(
                 f"expected {key} >= {floor}x, got {results[key]:.2f}x"
             )
+    if results["metrics_overhead_pct"] > MAX_METRICS_OVERHEAD_PCT:
+        failures.append(
+            f"expected metrics_overhead_pct <= {MAX_METRICS_OVERHEAD_PCT}%, "
+            f"got {results['metrics_overhead_pct']:.2f}%"
+        )
     return failures
 
 

@@ -28,11 +28,15 @@ Run either way::
     PYTHONPATH=src python benchmarks/bench_fleet_scaling.py
 """
 
-import json
 import os
 
 from repro.fleet import FleetConfig, run_fleet
 from repro.harness import fleet_aggregate_block, format_table
+
+try:
+    from ._env import write_results_json as _write_env_json
+except ImportError:  # script mode: benchmarks/ is sys.path[0]
+    from _env import write_results_json as _write_env_json
 
 DEFAULT_USERS = 160
 SEED = 7
@@ -111,12 +115,8 @@ def fleet_scaling_results(users: int = None, shard_counts=None,
 
 
 def write_results_json(results: dict, path: str = None) -> str:
-    """Write the result dict as JSON; returns the path written."""
-    path = JSON_PATH if path is None else path
-    with open(path, "w", encoding="utf-8") as stream:
-        json.dump(results, stream, indent=2, sort_keys=True)
-        stream.write("\n")
-    return path
+    """Write the result dict (env-stamped) as JSON; returns the path."""
+    return _write_env_json(results, JSON_PATH if path is None else path)
 
 
 def results_table(results: dict) -> str:

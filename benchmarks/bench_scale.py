@@ -36,7 +36,6 @@ Run either way::
     PYTHONPATH=src python benchmarks/bench_scale.py
 """
 
-import json
 import os
 import pickle
 import resource
@@ -50,6 +49,11 @@ from repro.core.synthesis import PhaseModel
 from repro.fleet.merge import ShardAccumulator
 from repro.harness import format_table
 from repro.scenarios import get_scenario
+
+try:
+    from ._env import write_results_json as _write_env_json
+except ImportError:  # script mode: benchmarks/ is sys.path[0]
+    from _env import write_results_json as _write_env_json
 
 SCENARIO = "batch-heavy"
 SEED = 7
@@ -201,12 +205,8 @@ def check_memory_flat(results: dict) -> None:
 
 
 def write_results_json(results: dict, path: str = None) -> str:
-    """Write the result dict as JSON; returns the path written."""
-    path = JSON_PATH if path is None else path
-    with open(path, "w", encoding="utf-8") as stream:
-        json.dump(results, stream, indent=2, sort_keys=True)
-        stream.write("\n")
-    return path
+    """Write the result dict (env-stamped) as JSON; returns the path."""
+    return _write_env_json(results, JSON_PATH if path is None else path)
 
 
 def results_table(results: dict) -> str:

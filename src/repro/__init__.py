@@ -20,6 +20,8 @@ The package provides:
   populations, with deterministic merged statistics;
 * :mod:`repro.traces` — external-trace ingestion (CSV/JSONL/strace/
   nfsdump), spec calibration, and closed-loop fidelity validation;
+* :mod:`repro.obs` — zero-overhead-when-off run observability: metrics
+  registry, stage spans, live progress, run-manifest artifacts;
 * :mod:`repro.harness` — one function per paper table and figure.
 
 Quickstart::
@@ -97,6 +99,17 @@ from .fleet import (
     WorkloadTally,
     run_fleet,
 )
+from .obs import (
+    MetricsRegistry,
+    NULL_OBSERVER,
+    ProgressMeter,
+    RunObserver,
+    build_manifest,
+    merge_snapshots,
+    snapshot_jsonl,
+    snapshot_prometheus,
+    write_manifest,
+)
 from .scenarios import (
     Scenario,
     build_scenario_spec,
@@ -106,7 +119,7 @@ from .scenarios import (
 )
 from .vfs import LocalFileSystem, MemoryFileSystem, OpenFlags
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArrivalModel",
@@ -153,6 +166,15 @@ __all__ = [
     "FleetResult",
     "WorkloadTally",
     "run_fleet",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "ProgressMeter",
+    "RunObserver",
+    "build_manifest",
+    "merge_snapshots",
+    "snapshot_jsonl",
+    "snapshot_prometheus",
+    "write_manifest",
     "Scenario",
     "build_scenario_spec",
     "get_scenario",

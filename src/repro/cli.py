@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
+from . import __version__
 from .core import RUN_BACKENDS, WorkloadGenerator, paper_workload_spec
 from .fleet import FleetConfig, run_fleet
 from .harness import (
@@ -75,6 +77,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="User-oriented synthetic workload generator "
                     "(Kao 1991 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser) -> None:
@@ -111,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "of column data held between chunk flushes "
                             "(default 64 MiB)")
 
+    def obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write a run-manifest JSON artifact (seed, "
+                            "spec hash, versions, per-stage timings, peak "
+                            "RSS, all counters) after the run")
+        p.add_argument("--progress", action="store_true",
+                       help="paint a live one-line progress display "
+                            "(users done, ops/s, ETA) to stderr")
+
     sim = sub.add_parser("simulate", help="run a simulated experiment")
     common(sim)
     sim.add_argument("--backend", choices=RUN_BACKENDS,
@@ -122,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "through vectorized array batches")
     arrival_args(sim)
     stream_out_args(sim)
+    obs_args(sim)
 
     real = sub.add_parser("real", help="drive a real directory")
     common(real)
@@ -175,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="offered-load window width (µs; default: "
                                 "1 hour when arrivals are enabled)")
     stream_out_args(fleet_run)
+    obs_args(fleet_run)
 
     fleet_sub.add_parser("scenarios", help="list the scenario library")
 
@@ -335,6 +350,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "simulate":
         log = None
         stream_sink = None
+        observer = None
+        meter = None
+        if args.metrics_out is not None or args.progress:
+            from .obs import ProgressMeter, RunObserver
+
+            if args.progress:
+                meter = ProgressMeter(total_users=args.users,
+                                      label=f"simulate[{args.backend}]")
+            observer = RunObserver(progress=meter)
         if args.out_stream is not None:
             from .core import (
                 DEFAULT_MEMORY_BUDGET,
@@ -355,22 +379,45 @@ def main(argv: list[str] | None = None) -> int:
                     "users": args.users,
                     "sessions_per_user": args.sessions,
                 },
+                observer=observer,
             )
             log = TeeSink(usage, stream_sink)
+        started = time.perf_counter()
         try:
             result = WorkloadGenerator(_spec_from(args)).run_simulated(
                 sessions_per_user=args.sessions, backend=args.backend,
-                arrivals=_arrivals_from(args), log=log,
+                arrivals=_arrivals_from(args), log=log, observer=observer,
             )
         finally:
             if stream_sink is not None:
                 stream_sink.close()
+        wall_s = time.perf_counter() - started
+        if meter is not None:
+            meter.finish()
         if stream_sink is not None:
             result.log = usage  # the analyzer needs the UsageLog, not the tee
         _print_summary(result)
         if stream_sink is not None:
             print(f"\nop stream ({stream_sink.chunks_written} chunks) "
                   f"written to {args.out_stream}")
+        if args.metrics_out is not None:
+            from .obs import build_manifest, write_manifest
+
+            manifest = build_manifest(
+                observer.snapshot(),
+                seed=args.seed,
+                backend=args.backend,
+                spec=result.spec,
+                n_users=args.users,
+                wall_s=wall_s,
+                simulated_us=result.simulated_duration_us,
+                extra={
+                    "sessions_per_user": args.sessions,
+                    "out_stream": args.out_stream,
+                },
+            )
+            write_manifest(args.metrics_out, manifest)
+            print(f"\nrun manifest written to {args.metrics_out}")
     elif args.command == "real":
         result = WorkloadGenerator(_spec_from(args)).run_real(
             args.directory,
@@ -463,6 +510,8 @@ def _main_fleet(args: argparse.Namespace) -> int:
             window_us=args.window_us,
             out_stream=args.out_stream,
             stream_budget_bytes=args.stream_budget_bytes,
+            metrics_out=args.metrics_out,
+            progress=args.progress,
         )
         result = run_fleet(config)
     except (ScenarioError, SpecError) as exc:
@@ -486,6 +535,8 @@ def _main_fleet(args: argparse.Namespace) -> int:
     if args.out_stream is not None:
         print(f"\nmerged op-stream artifact ({result.tally.operations} ops) "
               f"written to {args.out_stream}")
+    if args.metrics_out is not None:
+        print(f"\nrun manifest written to {args.metrics_out}")
     return 0
 
 

@@ -29,6 +29,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from ..distributions import CdfTable, Constant, Distribution, RandomStreams
+from ..obs.observer import NULL_OBSERVER
 from ..nfs import (
     AfsLikeFileSystem,
     FileServer,
@@ -349,6 +350,7 @@ class WorkloadGenerator:
         user_ids: Iterable[int] | None = None,
         log: OpSink | None = None,
         arrivals: ArrivalModel | None = None,
+        observer=None,
     ) -> RunResult:
         """Full experiment: plan, synthesize, then execute on a backend.
 
@@ -379,6 +381,15 @@ class WorkloadGenerator:
         the DES delays the user process, the fast paths seed the user's
         clock.  The op stream is byte-identical with or without
         arrivals; only the timeline moves.
+
+        ``observer`` attaches a :class:`~repro.obs.RunObserver`: stage
+        spans around plan/synthesize/execute, an instrumented
+        pass-through in front of ``log``, and live progress ticks.  The
+        observer only *reads* the event stream — it consumes no
+        randomness and alters no recorded byte, so an observed run's op
+        stream is identical to an unobserved one.  When None (the
+        default) the shared no-op singleton is used and the pipeline
+        runs exactly the uninstrumented code paths.
         """
         if sessions_per_user < 1:
             raise ValueError("sessions_per_user must be >= 1")
@@ -386,28 +397,31 @@ class WorkloadGenerator:
             raise ValueError(
                 f"backend must be one of {RUN_BACKENDS}, got {backend!r}"
             )
-        assignment, selected = self.plan_users(user_ids)
+        obs = observer if observer is not None else NULL_OBSERVER
         handle = None
         executor: ExecutionBackend
-        if backend in FAST_BACKENDS:
-            # No store is ever read: materialise nothing at all, just
-            # sample the manifest (sizes are drawn identically either
-            # way, so the layout — and hence the op stream — matches the
-            # DES run bit for bit).
-            layout = self.create_file_system(
-                MemoryFileSystem(), materialize_users=set(),
-                materialize_shared=False,
-            )
-            executor = (ColumnarReplayBackend(timing)
-                        if backend == "fast-columnar"
-                        else FastReplayBackend(timing))
-        else:
-            handle = self.build_simulation(backend, timing)
-            layout = self.create_file_system(
-                handle.store,
-                materialize_users=None if user_ids is None else set(selected),
-            )
-            executor = DesBackend(handle.engine, handle.client)
+        with obs.stage("plan"):
+            assignment, selected = self.plan_users(user_ids)
+            if backend in FAST_BACKENDS:
+                # No store is ever read: materialise nothing at all,
+                # just sample the manifest (sizes are drawn identically
+                # either way, so the layout — and hence the op stream —
+                # matches the DES run bit for bit).
+                layout = self.create_file_system(
+                    MemoryFileSystem(), materialize_users=set(),
+                    materialize_shared=False,
+                )
+                executor = (ColumnarReplayBackend(timing)
+                            if backend == "fast-columnar"
+                            else FastReplayBackend(timing))
+            else:
+                handle = self.build_simulation(backend, timing)
+                layout = self.create_file_system(
+                    handle.store,
+                    materialize_users=(None if user_ids is None
+                                       else set(selected)),
+                )
+                executor = DesBackend(handle.engine, handle.client)
         if log is None:
             log = UsageLog()
         task_iter = (
@@ -417,10 +431,17 @@ class WorkloadGenerator:
                                             sessions_per_user)
                           if arrivals is not None else None),
             )
-            for g in self.iter_synthesized_users(
-                layout, selected, assignment,
-                access_pattern=access_pattern,
-                phase_model_factory=phase_model_factory,
+            # The "synthesize" span times generator *construction*; the
+            # sessions themselves are drawn lazily while the executor
+            # runs, so their sampling cost lands in "execute".
+            for g in obs.timed_iter(
+                "synthesize",
+                self.iter_synthesized_users(
+                    layout, selected, assignment,
+                    access_pattern=access_pattern,
+                    phase_model_factory=phase_model_factory,
+                ),
+                tick_users=True,
             )
         )
         # The engine-free backends run users one after another, so they
@@ -431,9 +452,11 @@ class WorkloadGenerator:
         tasks: "Iterable[UserSessions]" = (
             task_iter if backend in FAST_BACKENDS else list(task_iter)
         )
-        duration_us = executor.execute(
-            tasks, log, time_limit_us=time_limit_us,
-        )
+        sink = obs.wrap_sink(log)
+        with obs.stage("execute"):
+            duration_us = executor.execute(
+                tasks, sink, time_limit_us=time_limit_us,
+            )
         return RunResult(
             spec=self.spec,
             layout=layout,

@@ -55,6 +55,7 @@ import io
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator
@@ -386,7 +387,7 @@ class StreamWriter:
     """
 
     def __init__(self, path: str, rows_per_chunk: int,
-                 metadata: dict | None = None):
+                 metadata: dict | None = None, observer=None):
         if rows_per_chunk < 1:
             raise ValueError(
                 f"rows_per_chunk must be >= 1, got {rows_per_chunk}"
@@ -394,6 +395,12 @@ class StreamWriter:
         self.path = path
         self.rows_per_chunk = int(rows_per_chunk)
         self.metadata = dict(metadata or {})
+        # Spill accounting: an enabled observer charges each chunk flush
+        # to the "spill" stage and ticks stream.{chunks,rows,bytes}.
+        # Flush timing/counting never changes what is written — chunk
+        # boundaries stay a pure function of the global row count.
+        self._observer = (observer if observer is not None
+                          and getattr(observer, "enabled", False) else None)
         self._pieces: list[OpBatch] = []
         self._buffered = 0
         self._rows_done = 0
@@ -483,6 +490,9 @@ class StreamWriter:
         return concat_batches(taken)
 
     def _flush_chunk(self, take: int) -> None:
+        if self._observer is not None:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
         rows = self._take_rows(take)
         boundary = self._rows_done + take
         cut = 0
@@ -495,6 +505,16 @@ class StreamWriter:
         self._stream.write(struct.pack(_FRAME_FMT, _FRAME_CHUNK,
                                        len(payload), zlib.crc32(payload)))
         self._stream.write(payload)
+        if self._observer is not None:
+            framed = len(payload) + struct.calcsize(_FRAME_FMT)
+            metrics = self._observer.metrics
+            metrics.counter("stream.chunks").inc()
+            metrics.counter("stream.rows").inc(take)
+            metrics.counter("stream.bytes").inc(framed)
+            self._observer.stage_times("spill").add(
+                time.perf_counter() - wall0, time.process_time() - cpu0,
+                rows=take, nbytes=framed,
+            )
         entry = {
             "offset": offset,
             "rows": take,
@@ -577,10 +597,11 @@ class StreamFileSink:
 
     def __init__(self, path: str,
                  memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
-                 metadata: dict | None = None):
+                 metadata: dict | None = None, observer=None):
         self.memory_budget_bytes = int(memory_budget_bytes)
         self._writer = StreamWriter(
-            path, rows_per_chunk_for(memory_budget_bytes), metadata=metadata)
+            path, rows_per_chunk_for(memory_budget_bytes), metadata=metadata,
+            observer=observer)
         self._scalar: list[OpRecord] = []
         # Scalar records columnarise in blocks; never hold more than a
         # chunk's worth (and keep tiny-budget tests exact).

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_mod
 import time
 from dataclasses import dataclass, field
 
@@ -50,6 +51,14 @@ from ..core.streamfile import (
     merge_stream_files,
 )
 from ..core.synthesis import PhaseModel
+from ..obs import (
+    ProgressMeter,
+    QueueProgressSender,
+    RunObserver,
+    build_manifest,
+    merge_snapshots,
+    write_manifest,
+)
 from ..sim import RunningStats
 from .merge import ShardAccumulator, WorkloadTally
 from .sharding import ShardPlan, plan_shards
@@ -81,6 +90,13 @@ class FleetConfig:
     draws from the root seed, so the curve is shard-count-invariant on
     the engine-free backends.
 
+    Observability: ``metrics_out`` writes a run-manifest JSON artifact
+    (merged per-shard metric snapshots, per-stage spans, versions, peak
+    RSS) after the run; ``progress`` paints a one-line live status to
+    stderr aggregated across shards.  Both ride the
+    :mod:`repro.obs` observer, which never touches RNG streams or
+    recorded bytes — enabling them cannot change any artifact or tally.
+
     Caveat: ``time_limit_us`` truncates each shard at its *own* simulated
     clock, and simulated time depends on per-site queueing — so with a
     time limit the merged aggregate is **not** shard-count-invariant.
@@ -107,6 +123,8 @@ class FleetConfig:
     window_us: float | None = None
     out_stream: str | None = None
     stream_budget_bytes: int | None = None
+    metrics_out: str | None = None
+    progress: bool = False
 
     def __post_init__(self):
         if (self.scenario is None) == (self.spec is None):
@@ -191,6 +209,7 @@ class ShardOutcome:
     simulated_us: float
     wall_s: float
     log: UsageLog | None = None
+    metrics: dict | None = None
 
 
 @dataclass
@@ -205,6 +224,8 @@ class FleetResult:
     log: UsageLog | None = None
     plans: tuple[ShardPlan, ...] = field(default=())
     out_stream: str | None = None
+    metrics: dict | None = None
+    metrics_out: str | None = None
 
     @property
     def simulated_us(self) -> float:
@@ -251,6 +272,8 @@ class _ShardTask:
     stream_path: str | None = None
     stream_budget_bytes: int = DEFAULT_MEMORY_BUDGET
     stream_metadata: "dict | None" = None
+    metrics: bool = False
+    progress: bool = False
 
 
 def _resolve_arrivals(config: FleetConfig,
@@ -298,10 +321,44 @@ def _resolve_run_inputs(config: FleetConfig):
     return spec, pattern, phases, sessions, model, window_us
 
 
+_PROGRESS_QUEUE = None
+"""Worker-side progress channel, installed by the pool initializer.
+
+Module-level because pool *tasks* must stay plain picklable data; the
+queue rides into each worker once, at fork/spawn time."""
+
+
+def _init_worker_progress(queue) -> None:
+    """Pool initializer: give this worker the coordinator's queue."""
+    global _PROGRESS_QUEUE
+    _PROGRESS_QUEUE = queue
+
+
+class _MeterQueue:
+    """Queue-shaped adapter driving a ProgressMeter directly (in-process).
+
+    Lets the ``workers == 1`` path reuse the exact worker-side sender
+    code: the "queue" is this object, and every put paints the meter.
+    """
+
+    def __init__(self, meter: ProgressMeter):
+        self.meter = meter
+
+    def put_nowait(self, item) -> None:
+        shard, users, ops, _done = item
+        self.meter.update_shard(shard, users, ops)
+
+
 def _run_shard(task: _ShardTask) -> ShardOutcome:
     """Execute one shard (runs inside a worker process or in-process)."""
     plan = task.plan
     started = time.perf_counter()
+    observer = None
+    if task.metrics or task.progress:
+        sender = None
+        if task.progress and _PROGRESS_QUEUE is not None:
+            sender = QueueProgressSender(plan.shard_index, _PROGRESS_QUEUE)
+        observer = RunObserver(progress=sender)
     sink = ShardAccumulator(collect_ops=task.collect_ops,
                             window_us=task.window_us)
     log_sink = sink
@@ -315,6 +372,7 @@ def _run_shard(task: _ShardTask) -> ShardOutcome:
             task.stream_path,
             memory_budget_bytes=task.stream_budget_bytes,
             metadata=task.stream_metadata,
+            observer=observer,
         )
         log_sink = TeeSink(sink, stream_sink)
     generator = WorkloadGenerator(task.spec)
@@ -328,10 +386,22 @@ def _run_shard(task: _ShardTask) -> ShardOutcome:
             user_ids=plan.user_ids,
             log=log_sink,
             arrivals=task.arrival_model,
+            observer=observer,
         )
     finally:
         if stream_sink is not None:
             stream_sink.close()
+    metrics = None
+    if observer is not None:
+        observer.metrics.gauge("shard.wall_s").set(
+            time.perf_counter() - started)
+        if observer.progress is not None:
+            observer.progress.finish(
+                observer.metrics.counter("users").value,
+                observer.metrics.counter("ops").value,
+            )
+        if task.metrics:
+            metrics = observer.snapshot()
     return ShardOutcome(
         shard_index=plan.shard_index,
         shard_seed=plan.shard_seed,
@@ -341,6 +411,7 @@ def _run_shard(task: _ShardTask) -> ShardOutcome:
         simulated_us=result.simulated_duration_us,
         wall_s=time.perf_counter() - started,
         log=sink.log,
+        metrics=metrics,
     )
 
 
@@ -355,6 +426,47 @@ def _pool_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
+
+
+def _run_shards_inline(tasks: "list[_ShardTask]",
+                       meter: "ProgressMeter | None"):
+    """Run every shard in this process, painting progress directly."""
+    global _PROGRESS_QUEUE
+    if meter is None:
+        return [_run_shard(task) for task in tasks]
+    previous = _PROGRESS_QUEUE
+    _PROGRESS_QUEUE = _MeterQueue(meter)
+    try:
+        return [_run_shard(task) for task in tasks]
+    finally:
+        _PROGRESS_QUEUE = previous
+
+
+def _run_shards_pooled(tasks: "list[_ShardTask]", workers: int,
+                       meter: "ProgressMeter | None"):
+    """Run shards on a worker pool, draining progress while they go."""
+    ctx = _pool_context()
+    progress_queue = ctx.Queue() if meter is not None else None
+    initializer = _init_worker_progress if progress_queue is not None else None
+    initargs = (progress_queue,) if progress_queue is not None else ()
+    with ctx.Pool(processes=workers, initializer=initializer,
+                  initargs=initargs) as pool:
+        if meter is None:
+            return pool.map(_run_shard, tasks)
+        pending = pool.map_async(_run_shard, tasks)
+        while True:
+            done = pending.ready()
+            # Drain whatever the workers sent since the last pass, then
+            # block briefly on the queue so the poll loop is not a spin.
+            while True:
+                try:
+                    shard, users, ops, _fin = progress_queue.get(
+                        timeout=0.0 if done else 0.2)
+                except queue_mod.Empty:
+                    break
+                meter.update_shard(shard, users, ops)
+            if done:
+                return pending.get()
 
 
 def run_fleet(config: FleetConfig) -> FleetResult:
@@ -413,18 +525,27 @@ def run_fleet(config: FleetConfig) -> FleetResult:
                          if shard_paths else None),
             stream_budget_bytes=stream_budget,
             stream_metadata=stream_metadata,
+            metrics=config.metrics_out is not None,
+            progress=config.progress,
         )
         for plan in plans
     ]
     workers = config.effective_workers()
+    meter = None
+    if config.progress:
+        meter = ProgressMeter(
+            total_users=sum(len(p.user_ids) for p in plans),
+            label=f"fleet[{config.backend}]",
+        )
 
     started = time.perf_counter()
     try:
         if workers == 1:
-            outcomes = [_run_shard(task) for task in tasks]
+            outcomes = _run_shards_inline(tasks, meter)
         else:
-            with _pool_context().Pool(processes=workers) as pool:
-                outcomes = pool.map(_run_shard, tasks)
+            outcomes = _run_shards_pooled(tasks, workers, meter)
+        if meter is not None:
+            meter.finish()
         if config.out_stream is not None and config.shards > 1:
             # Streaming k-way merge by user id: holds one user's events
             # per shard plus one chunk buffer, never the run.  The
@@ -445,7 +566,12 @@ def run_fleet(config: FleetConfig) -> FleetResult:
     merged_log = None
     if config.collect_ops:
         merged_log = UsageLog.merged(o.log for o in outcomes)
-    return FleetResult(
+    merged_metrics = None
+    if config.metrics_out is not None:
+        merged_metrics = merge_snapshots(
+            o.metrics for o in outcomes if o.metrics is not None
+        )
+    result = FleetResult(
         config=config,
         outcomes=outcomes,
         tally=WorkloadTally.merge_all(o.tally for o in outcomes),
@@ -454,4 +580,29 @@ def run_fleet(config: FleetConfig) -> FleetResult:
         log=merged_log,
         plans=plans,
         out_stream=config.out_stream,
+        metrics=merged_metrics,
+        metrics_out=config.metrics_out,
     )
+    if config.metrics_out is not None:
+        manifest = build_manifest(
+            merged_metrics,
+            seed=config.root_seed,
+            backend=config.backend,
+            scenario=config.scenario or "custom-spec",
+            spec=spec,
+            n_users=spec.n_users,
+            wall_s=wall_s,
+            simulated_us=result.simulated_us,
+            extra={
+                "shards": config.shards,
+                "workers": workers,
+                "sessions_per_user": sessions,
+                "access_pattern": pattern,
+                "phases": phases,
+                "arrivals": model is not None,
+                "time_limit_us": config.time_limit_us,
+                "out_stream": config.out_stream,
+            },
+        )
+        write_manifest(config.metrics_out, manifest)
+    return result

@@ -1,0 +1,93 @@
+"""Metric-snapshot exporters: JSONL and Prometheus text exposition.
+
+Both render the plain snapshot dict produced by
+:meth:`~repro.obs.observer.RunObserver.snapshot` /
+:func:`~repro.obs.metrics.merge_snapshots`, so they work identically on
+a single run and on a merged fleet.  JSONL is one self-describing JSON
+object per metric (easy to grep or load into a dataframe); the
+Prometheus form follows the text exposition format (``# TYPE`` lines,
+cumulative ``_bucket`` counts with an ``le`` label and a ``+Inf``
+terminal bucket) so a node-exporter-style scrape or ``promtool`` can
+ingest a run's metrics directly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+__all__ = ["snapshot_jsonl", "snapshot_prometheus"]
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A metric name Prometheus will accept (dots and dashes → ``_``)."""
+    name = _PROM_NAME.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def snapshot_jsonl(snapshot: dict) -> str:
+    """One JSON object per line, one line per metric (plus stages)."""
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append({"type": "counter", "name": name, "value": value})
+    for name, value in snapshot.get("gauges", {}).items():
+        lines.append({"type": "gauge", "name": name, "value": value})
+    for name, state in snapshot.get("stats", {}).items():
+        lines.append({"type": "stat", "name": name, **state})
+    for name, hist in snapshot.get("histograms", {}).items():
+        lines.append({"type": "histogram", "name": name, **hist})
+    for name, span in snapshot.get("stages", {}).items():
+        lines.append({"type": "stage", "name": name, **span})
+    return "".join(json.dumps(line, sort_keys=False) + "\n" for line in lines)
+
+
+def snapshot_prometheus(snapshot: dict, prefix: str = "repro_") -> str:
+    """Prometheus text exposition of a snapshot."""
+    out: list[str] = []
+
+    def emit(name: str, kind: str, samples: list[tuple[str, float]]) -> None:
+        out.append(f"# TYPE {name} {kind}")
+        for sample, value in samples:
+            out.append(f"{sample} {value}")
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = prefix + _prom_name(name) + "_total"
+        emit(metric, "counter", [(metric, value)])
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = prefix + _prom_name(name)
+        emit(metric, "gauge", [(metric, value)])
+    for name, state in snapshot.get("stats", {}).items():
+        metric = prefix + _prom_name(name)
+        count = state["count"]
+        samples = [
+            (metric + "_count", count),
+            (metric + "_sum", state["mean"] * count),
+        ]
+        if count:
+            samples.append((metric + "_min", state["min"]))
+            samples.append((metric + "_max", state["max"]))
+        emit(metric, "summary", samples)
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = prefix + _prom_name(name) + "_hist"
+        lo, hi, n_bins = hist["lo"], hist["hi"], hist["n_bins"]
+        width = (hi - lo) / n_bins
+        cumulative = hist["underflow"]
+        samples = []
+        for i, count in enumerate(hist["counts"]):
+            cumulative += count
+            upper = lo + width * (i + 1)
+            samples.append((f'{metric}_bucket{{le="{upper:g}"}}', cumulative))
+        cumulative += hist["overflow"]
+        samples.append((f'{metric}_bucket{{le="+Inf"}}', cumulative))
+        samples.append((metric + "_count", cumulative))
+        emit(metric, "histogram", samples)
+    for name, span in snapshot.get("stages", {}).items():
+        base = prefix + "stage_" + _prom_name(name)
+        for key, value in span.items():
+            metric = f"{base}_{key}"
+            emit(metric, "gauge", [(metric, value)])
+    return "\n".join(out) + "\n"

@@ -133,6 +133,33 @@ class RunningStats:
             merged = merged.merge(part)
         return merged
 
+    def as_state(self) -> dict:
+        """JSON-able full state (unlike :meth:`summary`, merge-exact).
+
+        Carries the Welford ``m2`` term so :meth:`from_state` followed by
+        :meth:`merge` reproduces the in-memory parallel merge exactly;
+        the infinite extrema of an empty accumulator serialise as None.
+        """
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RunningStats":
+        """Rebuild an accumulator from :meth:`as_state` output."""
+        stats = cls()
+        stats.count = int(state["count"])
+        stats._mean = float(state["mean"])
+        stats._m2 = float(state["m2"])
+        if stats.count:
+            stats.minimum = float(state["min"])
+            stats.maximum = float(state["max"])
+        return stats
+
     def summary(self) -> dict[str, float]:
         """Plain-dict snapshot for reports."""
         return {
@@ -234,6 +261,26 @@ class Histogram:
         """Count a batch."""
         for value in values:
             self.add(value)
+
+    def add_array(self, values: np.ndarray) -> None:
+        """Count a whole array in one vectorized step.
+
+        Bin-for-bin identical to calling :meth:`add` per element: values
+        below ``lo`` underflow, values above ``hi`` overflow, ``hi``
+        itself lands in the last bin, and the index truncation matches
+        the scalar ``int()`` floor for the non-negative offsets involved.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        self.underflow += int((values < self.lo).sum())
+        self.overflow += int((values > self.hi).sum())
+        in_range = values[(values >= self.lo) & (values <= self.hi)]
+        if in_range.size:
+            width = (self.hi - self.lo) / self.n_bins
+            idx = ((in_range - self.lo) / width).astype(np.int64)
+            np.minimum(idx, self.n_bins - 1, out=idx)
+            self.counts += np.bincount(idx, minlength=self.n_bins)
 
     @property
     def total(self) -> int:

@@ -513,3 +513,108 @@ class TestEmptyBatches:
             assert reader.total_rows == 0
             assert reader.total_sessions == 0
             assert list(reader.iter_batches()) == []
+
+
+class _CountingBatchSink(UsageLog):
+    """Batch-aware sink that counts how the rows arrived."""
+
+    def __init__(self):
+        super().__init__()
+        self.batches = []
+
+    def record_batch(self, batch):
+        self.batches.append(batch)
+        super().record_batch(batch)
+
+
+class _ScalarOnlySink:
+    """No ``record_batch`` at all — must be fed through the bridge."""
+
+    def __init__(self):
+        self.ops = []
+        self.sessions = []
+
+    def record_op(self, record):
+        self.ops.append(record)
+
+    def record_session(self, record):
+        self.sessions.append(record)
+
+
+class _ConversionCountingBatch:
+    """OpBatch stand-in that counts ``to_records`` conversions."""
+
+    def __init__(self, batch):
+        self._batch = batch
+        self.conversions = 0
+
+    def __len__(self):
+        return len(self._batch)
+
+    def to_records(self):
+        self.conversions += 1
+        return self._batch.to_records()
+
+
+class TestTeeSinkBatchPath:
+    def _batch(self, n=5):
+        records = [
+            OpRecord(user_id=1, user_type="t", session_id=0, op="read",
+                     path=f"/f{i}", category_key="c", size=10 * i,
+                     start_us=float(i), response_us=1.0)
+            for i in range(n)
+        ]
+        return OpBatch.from_records(records)
+
+    def test_batch_aware_sinks_receive_the_batch_object(self):
+        a, b = _CountingBatchSink(), _CountingBatchSink()
+        batch = self._batch()
+        TeeSink(a, b).record_batch(batch)
+        assert a.batches == [batch] and b.batches == [batch]
+        assert a.operations == batch.to_records()
+
+    def test_scalar_only_sink_gets_bridged_rows(self):
+        batch_aware, scalar = _CountingBatchSink(), _ScalarOnlySink()
+        batch = self._batch()
+        TeeSink(batch_aware, scalar).record_batch(batch)
+        assert batch_aware.batches == [batch]
+        assert scalar.ops == batch.to_records()
+
+    def test_bridge_converts_once_for_many_scalar_sinks(self):
+        scalars = [_ScalarOnlySink() for _ in range(3)]
+        batch = _ConversionCountingBatch(self._batch())
+        TeeSink(*scalars).record_batch(batch)
+        assert batch.conversions == 1
+        expected = batch.to_records()
+        for sink in scalars:
+            assert sink.ops == expected
+
+    def test_all_batch_aware_never_converts(self):
+        class BatchOnly:
+            def __init__(self):
+                self.batches = []
+
+            def record_batch(self, batch):
+                self.batches.append(batch)
+
+        sinks = [BatchOnly(), BatchOnly()]
+        batch = _ConversionCountingBatch(self._batch())
+        TeeSink(*sinks).record_batch(batch)
+        assert batch.conversions == 0
+        assert all(s.batches == [batch] for s in sinks)
+
+    def test_sessions_fan_out_to_every_sink(self):
+        a, b = _CountingBatchSink(), _ScalarOnlySink()
+        session = SessionRecord(
+            user_id=1, user_type="t", session_id=0, start_us=0.0,
+            end_us=5.0, files_referenced=1, bytes_accessed=10,
+            file_bytes_referenced=10, categories=("c",))
+        TeeSink(a, b).record_session(session)
+        assert a.sessions == [session]
+        assert b.sessions == [session]
+
+    def test_scalar_ops_fan_out_to_every_sink(self):
+        a, b = _ScalarOnlySink(), _CountingBatchSink()
+        record = self._batch(1).to_records()[0]
+        TeeSink(a, b).record_op(record)
+        assert a.ops == [record] and b.operations == [record]

@@ -1,0 +1,125 @@
+"""Unit tests for the run manifest and the snapshot exporters."""
+
+import json
+import re
+
+import repro
+from repro.core import paper_workload_spec
+from repro.obs import (
+    RunObserver,
+    build_manifest,
+    snapshot_jsonl,
+    snapshot_prometheus,
+    write_manifest,
+)
+from repro.obs.manifest import peak_rss_kib, spec_fingerprint
+
+
+def sample_snapshot():
+    obs = RunObserver()
+    obs.metrics.counter("ops").inc(10)
+    obs.metrics.gauge("shard.wall_s").set(1.5)
+    obs.metrics.stat("response_us").add_many([10.0, 20.0, 30.0])
+    hist = obs.metrics.histogram("response_us", 0.0, 100.0, 4)
+    hist.add_many([10.0, 30.0, -1.0, 250.0])
+    with obs.stage("execute"):
+        pass
+    return obs.snapshot()
+
+
+class TestSpecFingerprint:
+    def test_stable_across_equal_specs(self):
+        a = paper_workload_spec(n_users=3, total_files=100, seed=1)
+        b = paper_workload_spec(n_users=3, total_files=100, seed=1)
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+        assert re.fullmatch(r"[0-9a-f]{64}", spec_fingerprint(a))
+
+    def test_differs_across_specs(self):
+        a = paper_workload_spec(n_users=3, total_files=100, seed=1)
+        b = paper_workload_spec(n_users=4, total_files=100, seed=1)
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+
+class TestBuildManifest:
+    def test_fields(self):
+        spec = paper_workload_spec(n_users=3, total_files=100, seed=7)
+        manifest = build_manifest(
+            sample_snapshot(), seed=7, backend="fast-columnar",
+            scenario="paper", spec=spec, n_users=3, wall_s=1.25,
+            simulated_us=1000, extra={"shards": 4},
+        )
+        assert manifest["format"] == "repro.run-manifest"
+        assert manifest["version"] == 1
+        assert manifest["repro_version"] == repro.__version__
+        assert re.fullmatch(r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z",
+                            manifest["created_utc"])
+        run = manifest["run"]
+        assert run["seed"] == 7
+        assert run["backend"] == "fast-columnar"
+        assert run["spec_sha256"] == spec_fingerprint(spec)
+        assert run["n_users"] == 3
+        assert run["wall_s"] == 1.25
+        assert run["simulated_us"] == 1000
+        assert run["shards"] == 4
+        assert manifest["metrics"]["counters"]["ops"] == 10
+        assert isinstance(manifest["cpu_count"], int)
+
+    def test_peak_rss_positive_on_posix(self):
+        peak = peak_rss_kib()
+        assert peak is None or peak > 0
+
+    def test_minimal_call(self):
+        manifest = build_manifest({})
+        assert manifest["run"]["seed"] is None
+        assert manifest["run"]["spec_sha256"] is None
+
+    def test_write_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = build_manifest(sample_snapshot(), seed=1)
+        write_manifest(path, manifest)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == manifest
+
+
+class TestJsonlExport:
+    def test_every_line_parses_and_is_typed(self):
+        lines = snapshot_jsonl(sample_snapshot()).splitlines()
+        parsed = [json.loads(line) for line in lines]
+        types = {obj["type"] for obj in parsed}
+        assert types == {"counter", "gauge", "stat", "histogram", "stage"}
+        by_name = {(obj["type"], obj["name"]): obj for obj in parsed}
+        assert by_name[("counter", "ops")]["value"] == 10
+        assert by_name[("stat", "response_us")]["count"] == 3
+        assert by_name[("stage", "execute")]["calls"] == 1
+
+    def test_empty_snapshot_is_empty(self):
+        assert snapshot_jsonl({}) == ""
+
+
+class TestPrometheusExport:
+    def test_counter_gauge_summary_lines(self):
+        text = snapshot_prometheus(sample_snapshot())
+        assert "# TYPE repro_ops_total counter" in text
+        assert "repro_ops_total 10" in text
+        # Dots in metric names are sanitised for Prometheus.
+        assert "repro_shard_wall_s 1.5" in text
+        assert "repro_response_us_count 3" in text
+        assert "repro_response_us_sum 60.0" in text
+        assert "repro_stage_execute_calls 1" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = snapshot_prometheus(sample_snapshot())
+        buckets = re.findall(
+            r'repro_response_us_hist_bucket\{le="([^"]+)"\} (\d+)', text)
+        assert buckets[-1][0] == "+Inf"
+        counts = [int(c) for _, c in buckets]
+        assert counts == sorted(counts)
+        # 4 samples total: one underflow folded into the first bucket's
+        # cumulative count, one overflow into +Inf.
+        assert counts[-1] == 4
+        assert "repro_response_us_hist_count 4" in text
+
+    def test_custom_prefix(self):
+        text = snapshot_prometheus({"counters": {"ops": 1}}, prefix="x_")
+        assert "x_ops_total 1" in text

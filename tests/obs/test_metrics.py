@@ -1,0 +1,139 @@
+"""Unit tests for the metrics registry and snapshot merging."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, merge_snapshots
+from repro.sim import RunningStats
+
+
+class TestPrimitives:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_gauge(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("ops") is reg.counter("ops")
+        assert reg.gauge("rss") is reg.gauge("rss")
+        assert reg.stat("resp") is reg.stat("resp")
+        assert (reg.histogram("h", 0, 10, 5)
+                is reg.histogram("h", 0, 10, 5))
+
+    def test_histogram_layout_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", 0, 10, 5)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("h", 0, 20, 5)
+
+    def test_snapshot_is_json_serialisable(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(7)
+        reg.gauge("rss").set(12.5)
+        reg.stat("resp").add(3.0)
+        reg.stat("never")  # empty stat: infinite extrema must serialise
+        reg.histogram("h", 0, 10, 5).add(2.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["counters"]["ops"] == 7
+        assert snap["gauges"]["rss"] == 12.5
+        assert snap["stats"]["resp"]["count"] == 1
+        assert snap["stats"]["never"]["min"] is None
+        assert sum(snap["histograms"]["h"]["counts"]) == 1
+
+    def test_snapshot_keys_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta")
+        reg.counter("alpha")
+        assert list(reg.snapshot()["counters"]) == ["alpha", "zeta"]
+
+
+class TestMergeSnapshots:
+    def _snap(self, ops, rss, values, hist_values=()):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(ops)
+        reg.gauge("rss").set(rss)
+        reg.stat("resp").add_many(values)
+        hist = reg.histogram("h", 0.0, 10.0, 5)
+        hist.add_many(hist_values)
+        return reg.snapshot()
+
+    def test_counters_sum_gauges_max(self):
+        merged = merge_snapshots([
+            self._snap(3, 100.0, [1.0]),
+            self._snap(4, 50.0, [2.0]),
+        ])
+        assert merged["counters"]["ops"] == 7
+        assert merged["gauges"]["rss"] == 100.0
+
+    def test_stats_merge_is_parallel_welford_exact(self):
+        a_vals, b_vals = [1.0, 2.0, 4.0], [10.0, 20.0]
+        merged = merge_snapshots([
+            self._snap(0, 0, a_vals),
+            self._snap(0, 0, b_vals),
+        ])
+        direct = RunningStats()
+        a, b = RunningStats(), RunningStats()
+        a.add_many(a_vals)
+        b.add_many(b_vals)
+        direct = a.merge(b)
+        state = merged["stats"]["resp"]
+        assert state["count"] == direct.count
+        assert state["mean"] == direct.mean
+        assert state["m2"] == direct._m2
+        assert state["min"] == direct.minimum
+        assert state["max"] == direct.maximum
+
+    def test_histograms_add_count_for_count(self):
+        merged = merge_snapshots([
+            self._snap(0, 0, [], hist_values=[0.5, -1.0]),
+            self._snap(0, 0, [], hist_values=[0.5, 11.0]),
+        ])
+        hist = merged["histograms"]["h"]
+        assert hist["counts"][0] == 2
+        assert hist["underflow"] == 1
+        assert hist["overflow"] == 1
+
+    def test_histogram_layout_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.histogram("h", 0.0, 10.0, 5)
+        b = MetricsRegistry()
+        b.histogram("h", 0.0, 10.0, 10)
+        with pytest.raises(ValueError, match="bin layouts differ"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_stages_sum_per_name(self):
+        parts = [
+            {"stages": {"execute": {"wall_s": 1.0, "cpu_s": 0.5,
+                                    "calls": 1, "rows": 10, "bytes": 100}}},
+            {"stages": {"execute": {"wall_s": 2.0, "cpu_s": 1.0,
+                                    "calls": 2, "rows": 5, "bytes": 50},
+                        "spill": {"wall_s": 0.25, "cpu_s": 0.25,
+                                  "calls": 1, "rows": 7, "bytes": 7}}},
+        ]
+        merged = merge_snapshots(parts)
+        assert merged["stages"]["execute"]["wall_s"] == 3.0
+        assert merged["stages"]["execute"]["rows"] == 15
+        assert merged["stages"]["spill"]["calls"] == 1
+
+    def test_empty_parts(self):
+        merged = merge_snapshots([])
+        assert merged == {"counters": {}, "gauges": {}, "stats": {},
+                          "histograms": {}, "stages": {}}
+
+    def test_merged_snapshot_is_json_serialisable(self):
+        merged = merge_snapshots([
+            self._snap(1, 1.0, [1.0], [1.0]),
+            self._snap(2, 2.0, [], []),
+        ])
+        assert json.loads(json.dumps(merged))["counters"]["ops"] == 3

@@ -55,6 +55,72 @@ class TestRunningStats:
         stats.add(1.0)
         assert set(stats.summary()) == {"count", "mean", "std", "min", "max"}
 
+    def test_merge_two_empties_stays_empty(self):
+        merged = RunningStats().merge(RunningStats())
+        assert merged.count == 0
+        assert merged.mean == 0.0
+        assert merged.variance == 0.0
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = RunningStats(), RunningStats()
+        a.add_many([1.0, 2.0])
+        b.add_many([10.0, 20.0, 30.0])
+        a.merge(b)
+        assert a.count == 2 and b.count == 3
+        assert a.mean == pytest.approx(1.5)
+        assert b.mean == pytest.approx(20.0)
+
+    def test_merge_all_empty_iterable(self):
+        merged = RunningStats.merge_all([])
+        assert merged.count == 0
+        assert merged.summary()["min"] == 0.0
+
+    def test_merge_all_with_empty_parts_interleaved(self):
+        parts = [RunningStats() for _ in range(5)]
+        parts[1].add_many([1.0, 3.0])
+        parts[3].add_many([5.0])
+        merged = RunningStats.merge_all(parts)
+        assert merged.count == 3
+        assert merged.mean == pytest.approx(3.0)
+        assert merged.minimum == 1.0
+        assert merged.maximum == 5.0
+
+    def test_merge_all_only_empty_parts(self):
+        merged = RunningStats.merge_all([RunningStats(), RunningStats()])
+        assert merged.count == 0
+
+    def test_state_round_trip(self):
+        stats = RunningStats()
+        stats.add_many([1.0, 2.0, 4.0])
+        rebuilt = RunningStats.from_state(stats.as_state())
+        assert rebuilt.count == stats.count
+        assert rebuilt.mean == stats.mean
+        assert rebuilt.variance == stats.variance
+        assert rebuilt.minimum == stats.minimum
+        assert rebuilt.maximum == stats.maximum
+
+    def test_state_of_empty_serialises_none_extrema(self):
+        state = RunningStats().as_state()
+        assert state["min"] is None and state["max"] is None
+        rebuilt = RunningStats.from_state(state)
+        assert rebuilt.count == 0
+        # A rebuilt empty must merge exactly like a fresh empty.
+        other = RunningStats()
+        other.add(7.0)
+        assert rebuilt.merge(other).mean == 7.0
+
+    def test_state_merge_matches_in_memory_merge(self):
+        rng = np.random.default_rng(3)
+        a, b = RunningStats(), RunningStats()
+        a.add_many(rng.normal(size=100))
+        b.add_many(rng.normal(2, 3, size=50))
+        direct = a.merge(b)
+        via_state = RunningStats.from_state(a.as_state()).merge(
+            RunningStats.from_state(b.as_state()))
+        assert via_state.count == direct.count
+        assert via_state.mean == direct.mean
+        assert via_state.variance == direct.variance
+
 
 class TestTimeWeightedValue:
     def test_time_average(self):
@@ -142,3 +208,23 @@ class TestHistogram:
             Histogram(0.0, 1.0, 0)
         with pytest.raises(ValueError):
             Histogram(1.0, 1.0, 5)
+
+    def test_add_array_matches_scalar_adds(self):
+        rng = np.random.default_rng(4)
+        # Mix of underflow, in-range, the exact top edge, and overflow.
+        values = np.concatenate([
+            rng.uniform(-5.0, 15.0, size=500),
+            np.array([0.0, 10.0, -0.0001, 10.0001]),
+        ])
+        vectored = Histogram(0.0, 10.0, 7)
+        vectored.add_array(values)
+        scalar = Histogram(0.0, 10.0, 7)
+        scalar.add_many(values)
+        np.testing.assert_array_equal(vectored.counts, scalar.counts)
+        assert vectored.underflow == scalar.underflow
+        assert vectored.overflow == scalar.overflow
+
+    def test_add_array_empty_is_noop(self):
+        hist = Histogram(0.0, 1.0, 2)
+        hist.add_array(np.array([]))
+        assert hist.total == 0 and hist.underflow == 0 and hist.overflow == 0

@@ -391,3 +391,84 @@ class TestStreamCommands:
                      "--users", "2", "--shards", "2", "--files", "60",
                      "--out-stream", "never-written.opstream"])
         assert code != 0
+
+
+class TestObservabilityCli:
+    """`--version`, `--metrics-out`, and `--progress`."""
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_parser_accepts_obs_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--metrics-out", "m.json", "--progress"])
+        assert args.metrics_out == "m.json"
+        assert args.progress is True
+        args = build_parser().parse_args(["fleet", "run"])
+        assert args.metrics_out is None
+        assert args.progress is False
+        args = build_parser().parse_args(
+            ["fleet", "run", "--metrics-out", "f.json", "--progress"])
+        assert args.metrics_out == "f.json"
+        assert args.progress is True
+
+    def test_simulate_writes_manifest(self, tmp_path, capsys):
+        import json
+
+        manifest_path = tmp_path / "run.manifest.json"
+        code = main(["simulate", "--users", "2", "--sessions", "1",
+                     "--files", "80", "--backend", "fast-columnar",
+                     "--seed", "9", "--metrics-out", str(manifest_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run manifest written to" in out
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["format"] == "repro.run-manifest"
+        assert manifest["run"]["seed"] == 9
+        assert manifest["run"]["backend"] == "fast-columnar"
+        assert manifest["run"]["n_users"] == 2
+        assert manifest["metrics"]["counters"]["users"] == 2
+        assert manifest["metrics"]["counters"]["ops"] > 0
+        assert "execute" in manifest["metrics"]["stages"]
+
+    def test_simulate_progress_renders_to_stderr(self, capsys):
+        code = main(["simulate", "--users", "2", "--sessions", "1",
+                     "--files", "80", "--backend", "fast-columnar",
+                     "--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "users" in captured.err
+        assert captured.err.endswith("\n")
+
+    def test_fleet_run_writes_manifest(self, tmp_path, capsys):
+        import json
+
+        manifest_path = tmp_path / "fleet.manifest.json"
+        code = main(["fleet", "run", "--scenario", "dev-team",
+                     "--users", "2", "--shards", "2", "--workers", "1",
+                     "--files", "60", "--backend", "fast-columnar",
+                     "--metrics-out", str(manifest_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run manifest written to" in out
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["format"] == "repro.run-manifest"
+        assert manifest["run"]["scenario"] == "dev-team"
+        assert manifest["run"]["shards"] == 2
+        assert manifest["metrics"]["counters"]["users"] == 2
+
+    def test_metrics_do_not_change_simulate_output(self, tmp_path, capsys):
+        argv = ["simulate", "--users", "2", "--sessions", "1",
+                "--files", "80", "--backend", "fast-columnar", "--seed", "9"]
+        assert main(argv) == 0
+        bare = capsys.readouterr().out
+        manifest_path = tmp_path / "m.json"
+        assert main(argv + ["--metrics-out", str(manifest_path)]) == 0
+        observed = capsys.readouterr().out
+        assert observed == (
+            bare + f"\nrun manifest written to {manifest_path}\n")
