@@ -381,63 +381,89 @@ class ColumnarReplayBackend(FastReplayBackend):
         user_id = generator.user_id
         type_name = generator.user_type.name
         record_batch = getattr(log, "record_batch", None)
-        clock = task.offset_us
-        for session_id in range(task.sessions):
-            if limit is not None and clock >= limit:
+        offset = task.offset_us
+        if limit is not None and offset >= limit:
+            return min(offset, limit)
+        n_sessions = task.sessions
+        # One fused batch for the user's whole lifetime: service times,
+        # the clock cumsum, the limit cutoff, path resolution and the
+        # recorded-size rule all run once per user instead of once per
+        # session.  bounds[s] is the first row of session s.
+        batch, bounds = generator.generate_user_batch(range(n_sessions))
+        n = len(batch)
+        service = self.model.response_us_array(batch.kinds, batch.sizes)
+        ends = np.asarray(bounds[1:], dtype=np.int64)
+        sess_axis = np.arange(n_sessions, dtype=np.int64)
+        # Interleave the clock contributions — service of op i, then its
+        # think pause, with each session's logout gap spliced in after
+        # its last think — and cumsum once, seeded with the user's
+        # offset: np.cumsum accumulates left to right, so every op's
+        # start (and every inter-session gap hop) reproduces the scalar
+        # running float sum bit for bit.  Adding the final session's
+        # 0.0 gap is exact (x + 0.0 == x for the non-negative clocks).
+        contrib = np.zeros(2 * n + n_sessions + 1, dtype=np.float64)
+        contrib[0] = offset
+        sess_of_op = batch.session_ids  # == repeat(arange, row counts)
+        op_slots = 2 * np.arange(n, dtype=np.int64) + sess_of_op
+        contrib[op_slots + 1] = service
+        contrib[op_slots + 2] = batch.think_us
+        contrib[2 * ends + sess_axis + 1] = [
+            task.gap_after_us(s) for s in range(n_sessions)
+        ]
+        cumulative = np.cumsum(contrib)
+        op_starts = cumulative[op_slots]
+        session_starts = cumulative[
+            2 * np.asarray(bounds[:-1], dtype=np.int64) + sess_axis]
+        session_ends = cumulative[2 * ends + sess_axis]
+
+        cut = n
+        if limit is not None:
+            cut = int(np.searchsorted(op_starts, limit, side="left"))
+
+        rec = batch.select(slice(0, cut))
+        rec.path_idx = self._resolved_paths(rec)
+        rec.start_us = op_starts[:cut]
+        rec.response_us = service[:cut]
+        # The recorded size column follows apply_op_effects: data movers
+        # keep their byte count, everything else records 0.
+        rec.sizes = np.where(_DATA_MASK[rec.kinds], rec.sizes, 0)
+
+        # Emit per session — the same sink event sequence (one batch and
+        # one summary per executed session) the per-session path
+        # produced, as zero-copy slices of the user batch.
+        starts_list = session_starts.tolist()
+        ends_list = session_ends.tolist()
+        truncated = False
+        for s in range(n_sessions):
+            if limit is not None and starts_list[s] >= limit:
+                # The scalar loop breaks before entering this session;
+                # no rows recorded (every one starts at or past the
+                # limit), no summary.
                 break
-            batch = generator.generate_session_batch(session_id)
-            n = len(batch)
-            service = self.model.response_us_array(batch.kinds, batch.sizes)
-            # Interleave the clock contributions (service of op i, then
-            # its think pause) and cumsum once, seeded with the current
-            # clock: np.cumsum accumulates left to right, so every op's
-            # start reproduces the scalar running float sum bit for bit.
-            contrib = np.empty(2 * n + 1, dtype=np.float64)
-            contrib[0] = clock
-            contrib[1::2] = service
-            contrib[2::2] = batch.think_us
-            cumulative = np.cumsum(contrib)
-            op_starts = cumulative[0::2]  # n+1 entries; [n] is the end
-            end_clock = float(cumulative[-1])
-
-            truncated = False
-            cut = n
-            if limit is not None:
-                cut = int(np.searchsorted(op_starts[:n], limit, side="left"))
-                if cut < n:
-                    truncated = True
-                elif end_clock > limit:
-                    # Trailing think pushed the clock past the limit with
-                    # no further op to notice (same rule as the scalar
-                    # path): the session did not complete either.
-                    truncated = True
-
-            rec = batch.select(slice(0, cut))
-            rec.path_idx = self._resolved_paths(rec)
-            rec.start_us = op_starts[:cut]
-            rec.response_us = service[:cut]
-            # The recorded size column follows apply_op_effects: data
-            # movers keep their byte count, everything else records 0.
-            rec.sizes = np.where(_DATA_MASK[rec.kinds], rec.sizes, 0)
+            lo, hi = bounds[s], bounds[s + 1]
+            executed = hi if hi <= cut else cut
+            sub = rec.select(slice(lo, executed))
             if record_batch is not None:
-                record_batch(rec)
+                record_batch(sub)
             else:
                 record_op = log.record_op
-                for record in rec.to_records():
+                for record in sub.to_records():
                     record_op(record)
-
-            if truncated:
-                clock = limit if limit is not None else clock
+            if executed < hi or (limit is not None
+                                 and ends_list[s] > limit):
+                # Ops dropped, or a trailing think pushed the clock past
+                # the limit: the session did not complete — its executed
+                # ops are recorded but its summary is not (the DES
+                # cutoff rule), and no later session starts.
+                truncated = True
                 break
             log.record_session(
-                self._session_summary(batch, user_id, type_name, session_id,
-                                      clock, end_clock)
+                self._session_summary(batch.select(slice(lo, hi)), user_id,
+                                      type_name, s, starts_list[s],
+                                      ends_list[s])
             )
-            clock = end_clock
-            gap = task.gap_after_us(session_id)
-            if gap > 0:
-                clock += gap
-        return clock if limit is None else min(clock, limit)
+        end_clock = limit if truncated else float(cumulative[-1])
+        return end_clock if limit is None else min(end_clock, limit)
 
     @staticmethod
     def _resolved_paths(rec: OpBatch) -> np.ndarray:

@@ -66,6 +66,10 @@ class FileSystemLayout:
         default_factory=dict
     )
     _size_by_path: dict[str, int] = field(default_factory=dict)
+    _pool_arrays: dict[tuple[str, int | None],
+                       tuple[list[str], np.ndarray]] = field(
+        default_factory=dict
+    )
 
     def add(self, record: CreatedFile) -> None:
         """Index a created file."""
@@ -75,6 +79,7 @@ class FileSystemLayout:
         )
         pool.append(record)
         self._size_by_path[record.path] = record.size
+        self._pool_arrays.pop((record.category_key, record.owner_user), None)
 
     def user_home(self, user_id: int) -> str:
         """The home directory path of virtual user ``user_id``."""
@@ -94,6 +99,26 @@ class FileSystemLayout:
         if category.is_shared:
             return self._by_pool.get((category.key, None), [])
         return self._by_pool.get((category.key, user_id), [])
+
+    def pool_arrays(self, category: FileCategory,
+                    user_id: int) -> tuple[list[str], np.ndarray]:
+        """``files_for`` as ``(paths, sizes)`` columns, cached per pool.
+
+        The columnar plan builder indexes whole chosen-file subsets at
+        once (``sizes[chosen]``) instead of touching one
+        :class:`CreatedFile` attribute pair per plan.  The cache is
+        invalidated whenever :meth:`add` grows the pool.
+        """
+        pool_key = (category.key, None if category.is_shared else user_id)
+        cached = self._pool_arrays.get(pool_key)
+        if cached is None:
+            pool = self._by_pool.get(pool_key, [])
+            cached = (
+                [record.path for record in pool],
+                np.array([record.size for record in pool], dtype=np.int64),
+            )
+            self._pool_arrays[pool_key] = cached
+        return cached
 
     def size_of(self, path: str) -> int | None:
         """Recorded size of a created path (None for session-created files)."""

@@ -148,6 +148,9 @@ class WorkloadGenerator:
         self.streams = RandomStreams(spec.seed)
         self._register_distributions()
         self._tabulated_types: list[UserTypeSpec] | None = None
+        self._tabulated_by_name: dict[str, UserTypeSpec] | None = None
+        self._assignment: list[UserTypeSpec] | None = None
+        self._manifest_layout: FileSystemLayout | None = None
 
     # -- GDS wiring -------------------------------------------------------------
 
@@ -202,6 +205,27 @@ class WorkloadGenerator:
                 )
             self._tabulated_types = rebuilt
         return self._tabulated_types
+
+    def _tabulated_by_type_name(self) -> dict[str, UserTypeSpec]:
+        """Memoized name → tabulated-type lookup (hot in fleet shards)."""
+        if self._tabulated_by_name is None:
+            self._tabulated_by_name = {
+                t.name: t for t in self._tabulate_user_types()
+            }
+        return self._tabulated_by_name
+
+    def _assigned_user_types(self) -> list[UserTypeSpec]:
+        """Memoized :meth:`WorkloadSpec.assign_user_types`.
+
+        The assignment is a deterministic largest-remainder apportionment
+        — a pure function of the spec — so repeated
+        ``run_simulated``/fleet-shard calls on one generator can reuse
+        it instead of recomputing the whole population's types each
+        time.
+        """
+        if self._assignment is None:
+            self._assignment = self.spec.assign_user_types()
+        return self._assignment
 
     def memory_report(self) -> dict[str, int]:
         """CDF-table footprint (the section 4.2 growth concern)."""
@@ -273,7 +297,7 @@ class WorkloadGenerator:
         the sorted subset of user ids this run will execute (everyone
         when ``user_ids`` is None — the fleet layer passes shards).
         """
-        assignment = self.spec.assign_user_types()
+        assignment = self._assigned_user_types()
         if user_ids is None:
             selected = list(range(len(assignment)))
         else:
@@ -292,6 +316,7 @@ class WorkloadGenerator:
         assignment: "list[UserTypeSpec] | None" = None,
         access_pattern: str = "sequential",
         phase_model_factory=None,
+        reuse_kernels: bool = False,
     ) -> Iterator[SessionGenerator]:
         """Stage 2 (synthesize), lazily: generators yielded one at a time.
 
@@ -302,20 +327,41 @@ class WorkloadGenerator:
         order and content of every draw is identical whether generators
         are built eagerly or on demand — the engine-free backends
         consume this iterator directly and stay flat in memory.
+
+        ``reuse_kernels=True`` pools one kernel per user type and
+        rebinds it to each successive user
+        (:meth:`~repro.core.synthesis.SessionGenerator.rebind_user`):
+        the precomputed per-category sampler tuples, chunk buffers and
+        think/slot samplers are reset, not reconstructed, which removes
+        most of the per-user setup cost.  A rebound kernel draws
+        byte-identical streams (each user's randomness comes only from
+        its own ``user-{id}`` fork), but the *same object* is yielded
+        every time — callers must fully consume one user before
+        advancing, which the engine-free backends do; the DES
+        materialises all users at once and must leave this False.
         """
         if assignment is None:
-            assignment = self.spec.assign_user_types()
-        tabulated = {t.name: t for t in self._tabulate_user_types()}
+            assignment = self._assigned_user_types()
+        tabulated = self._tabulated_by_type_name()
+        kernels: dict[str, SessionGenerator] = {}
         for user_id in selected:
-            yield SessionGenerator(
-                tabulated[assignment[user_id].name],
-                layout,
-                self.streams,
-                user_id=user_id,
-                access_pattern=access_pattern,
-                phase_model=(phase_model_factory()
-                             if phase_model_factory else None),
-            )
+            type_name = assignment[user_id].name
+            phase = phase_model_factory() if phase_model_factory else None
+            kernel = kernels.get(type_name) if reuse_kernels else None
+            if kernel is None:
+                kernel = SessionGenerator(
+                    tabulated[type_name],
+                    layout,
+                    self.streams,
+                    user_id=user_id,
+                    access_pattern=access_pattern,
+                    phase_model=phase,
+                )
+                if reuse_kernels:
+                    kernels[type_name] = kernel
+            else:
+                kernel.rebind_user(user_id, phase_model=phase)
+            yield kernel
 
     def synthesize_users(
         self,
@@ -406,11 +452,17 @@ class WorkloadGenerator:
                 # No store is ever read: materialise nothing at all,
                 # just sample the manifest (sizes are drawn identically
                 # either way, so the layout — and hence the op stream —
-                # matches the DES run bit for bit).
-                layout = self.create_file_system(
-                    MemoryFileSystem(), materialize_users=set(),
-                    materialize_shared=False,
-                )
+                # matches the DES run bit for bit).  Memoized: the
+                # manifest is a pure function of the spec's seed, so
+                # repeated engine-free runs (bench repeats, fleet
+                # probes) reuse the first build instead of redrawing
+                # the whole population's file sizes.
+                if self._manifest_layout is None:
+                    self._manifest_layout = self.create_file_system(
+                        MemoryFileSystem(), materialize_users=set(),
+                        materialize_shared=False,
+                    )
+                layout = self._manifest_layout
                 executor = (ColumnarReplayBackend(timing)
                             if backend == "fast-columnar"
                             else FastReplayBackend(timing))
@@ -440,6 +492,11 @@ class WorkloadGenerator:
                     layout, selected, assignment,
                     access_pattern=access_pattern,
                     phase_model_factory=phase_model_factory,
+                    # The engine-free backends drain one user fully
+                    # before pulling the next, so a per-type kernel can
+                    # be rebound instead of rebuilt; the DES holds every
+                    # user at once and needs distinct generators.
+                    reuse_kernels=backend in FAST_BACKENDS,
                 ),
                 tick_users=True,
             )
@@ -457,6 +514,10 @@ class WorkloadGenerator:
             duration_us = executor.execute(
                 tasks, sink, time_limit_us=time_limit_us,
             )
+        if obs.enabled:
+            # Fold the sink's deferred batch accounting now, so the
+            # registry is complete the moment this run returns.
+            sink.flush()
         return RunResult(
             spec=self.spec,
             layout=layout,
@@ -486,8 +547,8 @@ class WorkloadGenerator:
             fs = LocalFileSystem(fs)
         layout = self.create_file_system(fs)
         log = UsageLog()
-        tabulated = {t.name: t for t in self._tabulate_user_types()}
-        for user_id, user_type in enumerate(self.spec.assign_user_types()):
+        tabulated = self._tabulated_by_type_name()
+        for user_id, user_type in enumerate(self._assigned_user_types()):
             generator = SessionGenerator(
                 tabulated[user_type.name],
                 layout,

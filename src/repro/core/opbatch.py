@@ -109,6 +109,26 @@ class StringTable:
             self._index[value] = idx
         return idx
 
+    def intern_many(self, values: Sequence[str]) -> np.ndarray:
+        """Intern a whole sequence in one call; returns the int32 indices.
+
+        One bound-method dispatch for a session's (or user's) entire path
+        vocabulary instead of one :meth:`intern` call per op — the
+        batched interning the columnar plan builder uses.  Append order
+        (first sight wins) is identical to sequential ``intern`` calls.
+        """
+        index = self._index
+        table = self._values
+        out = np.empty(len(values), dtype=np.int32)
+        for i, value in enumerate(values):
+            idx = index.get(value)
+            if idx is None:
+                idx = len(table)
+                table.append(value)
+                index[value] = idx
+            out[i] = idx
+        return out
+
     def lookup(self, idx: int) -> "str | None":
         """Inverse of :meth:`intern` (−1 → None)."""
         if idx < 0:

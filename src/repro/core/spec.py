@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from ..distributions import Constant, Distribution, ShiftedExponential
 
@@ -99,9 +100,16 @@ class FileCategory:
     owner: Owner
     use: UseType
 
-    @property
+    @cached_property
     def key(self) -> str:
-        """Stable string key, e.g. ``"REG:USER:RDONLY"``."""
+        """Stable string key, e.g. ``"REG:USER:RDONLY"``.
+
+        Cached: the hot synthesis path reads a category's key once per
+        plan, and an f-string over three enum attributes per read shows
+        up in the per-session profile.  ``cached_property`` stores into
+        the instance ``__dict__`` directly, which a frozen dataclass
+        permits (and ``__eq__``/``__hash__`` ignore).
+        """
         return f"{self.file_type.value}:{self.owner.value}:{self.use.value}"
 
     @property

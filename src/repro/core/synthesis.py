@@ -86,25 +86,11 @@ _EMPTY_I64 = np.empty(0, dtype=np.int64)
 # Max chunk variates sanitised per cumsum pass (see _chunk_run).
 _CHUNK_SLAB = 64
 
-# Reusable single-row column segments (np.concatenate copies, so sharing
-# these across plans is safe) and the creat-mode flag value.
-_OPEN_ROW = np.array([KIND_OPEN], dtype=np.int8)
-_CREAT_ROW = np.array([KIND_CREAT], dtype=np.int8)
-_LSEEK_ROW = np.array([KIND_LSEEK], dtype=np.int8)
-_CLOSE_ROW = np.array([KIND_CLOSE], dtype=np.int8)
-_UNLINK_ROW = np.array([KIND_UNLINK], dtype=np.int8)
-_ZERO_I64 = np.zeros(1, dtype=np.int64)
-_CREAT_FLAGS = int(OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC)
+# Rows a plan builder reserves before a chunk run: one run never exceeds
+# the chunk sampler's block size (512 in SessionGenerator.__init__).
+_CHUNK_RESERVE = 512
 
-# Constant kind runs: chunk segments append read-only *views* of these
-# instead of allocating a filled array per segment (np.concatenate
-# copies, so sharing is safe).  Sized to cover any single segment: a
-# segment never exceeds the chunk sampler's block (or slab) size.
-_RUN_MAX = 8192
-_READ_RUN = np.full(_RUN_MAX, KIND_READ, dtype=np.int8)
-_WRITE_RUN = np.full(_RUN_MAX, KIND_WRITE, dtype=np.int8)
-_LSEEK_READ_PAIRS = np.tile(
-    np.array([KIND_LSEEK, KIND_READ], dtype=np.int8), _RUN_MAX)
+_CREAT_FLAGS = int(OpenFlags.RDWR | OpenFlags.CREAT | OpenFlags.TRUNC)
 
 _UNIT = Uniform(0.0, 1.0)
 
@@ -200,14 +186,42 @@ class _FilePlan:
         return op
 
 
+def _stream_factory(streams: RandomStreams, name: str):
+    """A zero-arg constructor for ``streams.get(name)``.
+
+    Handed to :class:`BatchSampler` as ``rng_factory`` so streams that a
+    user never draws (a usage entry whose fraction gate never fires, the
+    ``size:`` stream of a non-creating category) never pay generator
+    setup.  Resolution order cannot matter: an unbuilt generator was
+    never consumed.
+    """
+    def make() -> np.random.Generator:
+        return streams.get(name)
+    return make
+
+
 @dataclass(frozen=True)
 class _UsageSamplers:
-    """The batched per-usage-entry samplers (one set per file category)."""
+    """The batched per-usage-entry samplers (one set per file category).
+
+    Alongside the samplers, the per-entry *constants* the hot plan loop
+    needs (category key, write fraction, open-mode flag, ...) are
+    precomputed once per kernel instead of re-derived per plan.  The
+    object is pooled: :meth:`SessionGenerator.rebind_user` rebinds the
+    inner samplers to a new user's streams in place.
+    """
 
     usage: UsageSpec
     file_count: BatchSampler
     access_per_byte: BatchSampler
     file_size: BatchSampler
+    key: str
+    creates: bool
+    temporary: bool
+    is_dir: bool
+    prefix: str
+    write_fraction: float
+    mode_flag: int
 
 
 class _ChunkBlock(BatchSampler):
@@ -243,6 +257,13 @@ class _ChunkBlock(BatchSampler):
         self.cum0 = cum0
         return buffer
 
+    def rebind(self, rng=None, rng_factory=None) -> "_ChunkBlock":
+        """:meth:`BatchSampler.rebind` plus dropping the prefix-sum cache."""
+        super().rebind(rng, rng_factory)
+        self.san = None
+        self.cum0 = None
+        return self
+
     def san_view(self) -> np.ndarray:
         """Sanitised not-yet-consumed variates (refills when spent)."""
         buffer = self._buffer
@@ -250,13 +271,19 @@ class _ChunkBlock(BatchSampler):
             self._refill()
         return self.san[self._next:]
 
-    def run(self, boundary: int) -> tuple[np.ndarray, int, bool]:
-        """Consume chunks up to ``boundary`` bytes from the cached block.
+    def run_into(self, out: np.ndarray, row: int,
+                 boundary: int) -> tuple[int, int]:
+        """Consume chunks up to ``boundary`` bytes into ``out[row:]``.
 
-        Returns ``(chunks, advanced, crossed)``; the crossing chunk is
-        cut to land exactly on the boundary, as the scalar per-draw
-        clamp does.  May return fewer bytes than ``boundary`` when the
-        block runs out — the caller loops, and the next call refills.
+        Writes the consumed run straight into the caller's float64 row
+        buffer (no per-segment allocation or cast — the whole size
+        column is cast to int64 once per batch) and returns
+        ``(take, advanced)``.  The crossing chunk is cut to land
+        exactly on the boundary, as the scalar per-draw clamp does.
+        May advance fewer bytes than ``boundary`` when the block runs
+        out — the caller loops, and the next call refills.  The caller
+        must have reserved ``row + block`` rows (a run never exceeds
+        the block size).
         """
         buffer = self._buffer
         if buffer is None or self._next >= len(buffer):
@@ -269,47 +296,57 @@ class _ChunkBlock(BatchSampler):
         cut = int(cum0.searchsorted(base + boundary, side="left")) - 1
         limit = len(self.san)
         if cut >= limit:
-            chunks = self.san[start:].astype(np.int64)
-            advanced = int(cum0[limit] - base)
+            take = limit - start
+            out[row:row + take] = self.san[start:]
             self._next = limit
-            return chunks, advanced, False
-        chunks = self.san[start:cut + 1].astype(np.int64)
-        chunks[-1] = boundary - int(cum0[cut] - base)
+            return take, int(cum0[limit] - base)
+        take = cut + 1 - start
+        out[row:row + take] = self.san[start:cut + 1]
+        out[row + take - 1] = boundary - (cum0[cut] - base)
         self._next = cut + 1
-        return chunks, boundary, True
+        return take, boundary
 
 
 class _SessionColumns:
-    """Accumulates one session's plan columns without per-plan arrays.
+    """Accumulates a user's plan columns without per-plan arrays.
 
-    Plan builders append kind/size *segments* (shared single-row
-    constants or vectorized chunk arrays) plus sparse fix-ups; the
+    Plan builders write kind/size rows straight into two growable flat
+    buffers (``kinds_buf``/``sizes_buf`` — int8 kinds, float64 sizes so
+    a chunk sampler's sanitised block can land by slice without a
+    per-segment cast) plus sparse fix-up lists; the
     constant-within-a-plan columns (plan id, category) are materialised
-    at the end with one ``np.repeat`` over the plan lengths, and path /
-    flag columns with one fancy assignment each — so building a session
-    costs O(plans) small Python appends plus O(ops) vectorized work,
-    instead of six array allocations per plan.
+    at the end with one ``np.repeat`` over the plan lengths, path /
+    flag columns with one fancy assignment each, and the size column
+    with one ``astype(int64)`` pass — so building a session costs
+    O(plans) small Python appends plus O(ops) vectorized slice writes,
+    with no per-plan allocation and no final concatenation.
     """
 
     __slots__ = (
-        "paths", "categories", "kind_segs", "size_segs", "lengths",
+        "paths", "categories", "kinds_buf", "sizes_buf", "cap", "lengths",
         "plan_base", "cat_base", "plan_fix_pos", "plan_fix_val",
-        "path_pos", "path_val", "flag_pos", "flag_val",
+        "path_pos", "path_ord", "plan_paths", "flag_pos", "flag_val",
         "mix_start", "mix_count", "mix_step", "mix_wf", "total",
     )
 
-    def __init__(self, paths: StringTable, categories: StringTable):
+    def __init__(self, paths: StringTable, categories: StringTable,
+                 capacity: int = 4096):
         self.paths = paths
         self.categories = categories
-        self.kind_segs: list[np.ndarray] = []
-        self.size_segs: list = []
+        self.cap = capacity
+        self.kinds_buf = np.empty(capacity, dtype=np.int8)
+        self.sizes_buf = np.empty(capacity, dtype=np.float64)
         self.lengths: list[int] = []
         self.plan_base: list[int] = []   # np.repeat fill per plan
         self.cat_base: list[int] = []
         self.plan_fix_pos: list[int] = []  # sparse overrides (unlink/stat)
         self.plan_fix_val: list[int] = []
+        # Paths are *deferred*: builders append the string to plan_paths
+        # and record its ordinal, and the whole vocabulary is interned in
+        # one StringTable.intern_many call at assembly time.
         self.path_pos: list[int] = []
-        self.path_val: list[int] = []
+        self.path_ord: list[int] = []
+        self.plan_paths: list[str] = []
         self.flag_pos: list[int] = []
         self.flag_val: list[int] = []
         # Write-mix draw ranges: each chunk segment that consumes
@@ -323,11 +360,32 @@ class _SessionColumns:
         self.total = 0
 
     def add_plan(self, n: int, plan_value: int, cat_idx: int) -> None:
-        """Close one plan of ``n`` rows (segments already appended)."""
+        """Close one plan of ``n`` rows (rows already written)."""
         self.lengths.append(n)
         self.plan_base.append(plan_value)
         self.cat_base.append(cat_idx)
         self.total += n
+
+    def reserve(self, need: int) -> None:
+        """Grow the row buffers to hold at least ``need`` rows.
+
+        Geometric doubling; existing rows (``[0, total)`` plus any rows
+        the current plan has written past ``total``) are preserved, so
+        builders re-fetch ``kinds_buf``/``sizes_buf`` after any call
+        that may grow.
+        """
+        cap = self.cap
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        kinds = np.empty(cap, dtype=np.int8)
+        kinds[: len(self.kinds_buf)] = self.kinds_buf
+        sizes = np.empty(cap, dtype=np.float64)
+        sizes[: len(self.sizes_buf)] = self.sizes_buf
+        self.kinds_buf = kinds
+        self.sizes_buf = sizes
+        self.cap = cap
 
 
 class SessionGenerator:
@@ -374,6 +432,7 @@ class SessionGenerator:
         self.user_id = user_id
         self.access_pattern = access_pattern
         self.phase_model = phase_model
+        self._root = streams
         base = streams.fork(f"user-{user_id}")
         self._rng_select = base.get("select")
         # Plan interleaving draws from its own uniform stream ("slot",
@@ -386,33 +445,101 @@ class SessionGenerator:
                                   block=512)
         self._think = BatchSampler(user_type.think_time, base.get("think"),
                                    block=512)
-        self._write_mix = BatchSampler(_UNIT, base.get("write-mix"), block=512)
-        # The seek and phase streams are only ever *drawn* in random
-        # mode / with a phase model; skipping their generator setup
-        # otherwise cannot change any stream (they are never consumed).
-        self._seek = (BatchSampler(_UNIT, base.get("seek"), block=256)
-                      if access_pattern == "random" else None)
-        self._phase = (BatchSampler(_UNIT, base.get("phase"), block=256)
-                       if phase_model is not None else None)
+        # Streams that may never be drawn — the write mix of an all-read
+        # session, seek offsets outside random mode, phase steps without
+        # a phase model, and the per-category count/budget/size streams
+        # of entries whose fraction gate never fires — are built lazily
+        # at first draw.  Skipping (or deferring) their generator setup
+        # cannot change any stream: an unbuilt generator is never
+        # consumed.
+        self._write_mix = BatchSampler(
+            _UNIT, rng_factory=_stream_factory(base, "write-mix"), block=512)
+        self._seek = (
+            BatchSampler(_UNIT, rng_factory=_stream_factory(base, "seek"),
+                         block=256)
+            if access_pattern == "random" else None)
+        self._phase = (
+            BatchSampler(_UNIT, rng_factory=_stream_factory(base, "phase"),
+                         block=256)
+            if phase_model is not None else None)
         self._usage_samplers = tuple(
             _UsageSamplers(
                 usage=usage,
                 file_count=BatchSampler(
-                    usage.file_count,
-                    base.get(f"count:{usage.category.key}"), block=32,
+                    usage.file_count, block=32,
+                    rng_factory=_stream_factory(
+                        base, f"count:{usage.category.key}"),
                 ),
                 access_per_byte=BatchSampler(
-                    usage.access_per_byte,
-                    base.get(f"apb:{usage.category.key}"), block=128,
+                    usage.access_per_byte, block=128,
+                    rng_factory=_stream_factory(
+                        base, f"apb:{usage.category.key}"),
                 ),
                 file_size=BatchSampler(
-                    usage.file_size,
-                    base.get(f"size:{usage.category.key}"), block=32,
+                    usage.file_size, block=32,
+                    rng_factory=_stream_factory(
+                        base, f"size:{usage.category.key}"),
                 ),
+                key=usage.category.key,
+                creates=usage.category.creates_files,
+                temporary=usage.category.use is UseType.TEMP,
+                is_dir=usage.category.is_directory,
+                prefix=("tmp" if usage.category.use is UseType.TEMP
+                        else "new"),
+                write_fraction=(0.5 if usage.category.use is UseType.RD_WRT
+                                else 0.0),
+                mode_flag=int(OpenFlags.RDWR if usage.category.writes
+                              else OpenFlags.RDONLY),
             )
             for usage in user_type.usage
         )
         self._plan_counter = 0
+
+    def rebind_user(self, user_id: int,
+                    phase_model: PhaseModel | None = None
+                    ) -> "SessionGenerator":
+        """Re-target this kernel at another user of the same type.
+
+        The pooled per-user setup: every sampler object, chunk-block
+        buffer and precomputed per-entry constant is *reused* — only the
+        random streams are re-derived (``fork(f"user-{user_id}")``, the
+        same derivation ``__init__`` performs) and every sampler's block
+        is dropped, so the first draw after a rebind refills from the
+        new user's stream.  The served sequences are therefore exactly
+        those of a freshly constructed generator
+        (``tests/core/test_pooled_state.py``), at a fraction of the
+        setup cost.  Callers must drain one user fully before rebinding
+        (the engine-free executors do).
+        """
+        base = self._root.fork(f"user-{user_id}")
+        self.user_id = user_id
+        self.phase_model = phase_model
+        self._rng_select = base.get("select")
+        self._slot.rebind(base.get("slot"))
+        self._chunk.rebind(base.get("chunk"))
+        self._think.rebind(base.get("think"))
+        self._write_mix.rebind(rng_factory=_stream_factory(base, "write-mix"))
+        if self._seek is not None:
+            self._seek.rebind(rng_factory=_stream_factory(base, "seek"))
+        if phase_model is not None:
+            factory = _stream_factory(base, "phase")
+            if self._phase is None:
+                self._phase = BatchSampler(_UNIT, rng_factory=factory,
+                                           block=256)
+            else:
+                self._phase.rebind(rng_factory=factory)
+        else:
+            self._phase = None
+        for samplers in self._usage_samplers:
+            key = samplers.key
+            samplers.file_count.rebind(
+                rng_factory=_stream_factory(base, f"count:{key}"))
+            samplers.access_per_byte.rebind(
+                rng_factory=_stream_factory(base, f"apb:{key}"))
+            samplers.file_size.rebind(
+                rng_factory=_stream_factory(base, f"size:{key}"))
+        self._plan_counter = 0
+        return self
 
     # -- sampling helpers --------------------------------------------------------
 
@@ -702,8 +829,6 @@ class SessionGenerator:
         """
         if budget <= 0 or file_size <= 0:
             return 0
-        kind_segs = cols.kind_segs
-        size_segs = cols.size_segs
         row = row0
         if self.access_pattern == "random":
             remaining = budget
@@ -727,38 +852,41 @@ class SessionGenerator:
                 else:
                     take = cut + 1
                     advanced = remaining
-                chunks = candidates[:take].astype(np.int64)
-                if cut < width:
-                    chunks[cut] = remaining - (int(total[cut - 1])
-                                               if cut else 0)
+                    candidates[cut] = remaining - (int(total[cut - 1])
+                                                   if cut else 0)
                 self._chunk.consume(take)
                 self._seek.consume(take)
-                sizes = np.empty(2 * take, dtype=np.int64)
-                sizes[0::2] = offsets[:take]
-                sizes[1::2] = chunks
-                kind_segs.append(_LSEEK_READ_PAIRS[:2 * take])
-                size_segs.append(sizes)
+                end = row + 2 * take
+                cols.reserve(end)
+                kinds_buf = cols.kinds_buf
+                sizes_buf = cols.sizes_buf
+                kinds_buf[row:end:2] = KIND_LSEEK
+                kinds_buf[row + 1:end:2] = KIND_READ
+                sizes_buf[row:end:2] = offsets[:take]
+                sizes_buf[row + 1:end:2] = candidates[:take]
                 cols.mix_start.append(row + 1)
                 cols.mix_count.append(take)
                 cols.mix_step.append(2)
                 cols.mix_wf.append(write_fraction)
-                row += 2 * take
+                row = end
                 remaining -= advanced
         else:
             position = 0
             remaining = budget
+            chunk = self._chunk
+            reserve = cols.reserve
             while remaining > 0:
                 if position >= file_size:
-                    kind_segs.append(_LSEEK_ROW)
-                    size_segs.append(_ZERO_I64)
+                    reserve(row + 1)
+                    cols.kinds_buf[row] = KIND_LSEEK
+                    cols.sizes_buf[row] = 0.0
                     row += 1
                     position = 0
-                chunks, advanced, _ = self._chunk.run(
-                    min(remaining, file_size - position)
+                reserve(row + _CHUNK_RESERVE)
+                take, advanced = chunk.run_into(
+                    cols.sizes_buf, row, min(remaining, file_size - position)
                 )
-                take = len(chunks)
-                kind_segs.append(_READ_RUN[:take])
-                size_segs.append(chunks)
+                cols.kinds_buf[row:row + take] = KIND_READ
                 cols.mix_start.append(row)
                 cols.mix_count.append(take)
                 cols.mix_step.append(1)
@@ -768,101 +896,116 @@ class SessionGenerator:
                 remaining -= advanced
         return row - row0
 
-    def _append_write_out(self, target_size: int,
-                          cols: _SessionColumns) -> int:
+    def _append_write_out(self, target_size: int, cols: _SessionColumns,
+                          row0: int) -> int:
         """Vectorized :meth:`_write_out_ops`; returns rows appended."""
-        count = 0
+        row = row0
         remaining = target_size
         while remaining > 0:
-            chunks, advanced, _ = self._chunk.run(remaining)
-            cols.kind_segs.append(_WRITE_RUN[:len(chunks)])
-            cols.size_segs.append(chunks)
-            count += len(chunks)
+            cols.reserve(row + _CHUNK_RESERVE)
+            take, advanced = self._chunk.run_into(
+                cols.sizes_buf, row, remaining)
+            cols.kinds_buf[row:row + take] = KIND_WRITE
+            row += take
             remaining -= advanced
-        return count
+        return row - row0
 
-    def _append_plan_for_existing(self, samplers: _UsageSamplers, path: str,
-                                  file_size: int,
+    def _append_plan_for_existing(self, path: str, file_size: int,
+                                  budget: int, write_fraction: float,
+                                  mode_flag: int, cat_idx: int,
                                   cols: _SessionColumns) -> None:
-        """Columnar :meth:`_plan_for_existing`: open → data ops → close."""
-        category = samplers.usage.category
-        plan_id = self._next_plan_id()
-        budget = self._sample_access_budget(samplers, file_size)
-        write_fraction = 0.5 if category.use is UseType.RD_WRT else 0.0
-        mode = OpenFlags.RDWR if category.writes else OpenFlags.RDONLY
+        """Columnar :meth:`_plan_for_existing`: open → data ops → close.
+
+        The budget, write fraction, open mode and category index arrive
+        precomputed from the entry-grouped walk
+        (:meth:`_append_session_plans`) — this method only appends rows.
+        """
+        self._plan_counter += 1
         start = cols.total
-        cols.kind_segs.append(_OPEN_ROW)
-        cols.size_segs.append([file_size])
+        cols.reserve(start + 1)
+        cols.kinds_buf[start] = KIND_OPEN
+        cols.sizes_buf[start] = file_size
         n = 1 + self._append_data_cols(budget, file_size, write_fraction,
                                        cols, start + 1)
-        cols.kind_segs.append(_CLOSE_ROW)
-        cols.size_segs.append(_ZERO_I64)
+        end = start + n
+        cols.reserve(end + 1)
+        cols.kinds_buf[end] = KIND_CLOSE
+        cols.sizes_buf[end] = 0.0
         n += 1
-        path_id = cols.paths.intern(path)
+        ordinal = len(cols.plan_paths)
+        cols.plan_paths.append(path)
         cols.path_pos += (start, start + n - 1)
-        cols.path_val += (path_id, path_id)
-        if mode:
+        cols.path_ord += (ordinal, ordinal)
+        if mode_flag:
             cols.flag_pos.append(start)
-            cols.flag_val.append(int(mode))
-        cols.add_plan(n, plan_id, cols.categories.intern(category.key))
+            cols.flag_val.append(mode_flag)
+        cols.add_plan(n, self._plan_counter, cat_idx)
 
-    def _append_plan_for_new(self, samplers: _UsageSamplers, path: str,
-                             temporary: bool,
+    def _append_plan_for_new(self, path: str, target_size: int, budget: int,
+                             temporary: bool, cat_idx: int,
                              cols: _SessionColumns) -> None:
         """Columnar :meth:`_plan_for_new`: creat, write out, re-read,
         close (+unlink for TEMP)."""
-        category = samplers.usage.category
-        plan_id = self._next_plan_id()
-        target_size = self._sample_file_size(samplers)
+        self._plan_counter += 1
+        plan_id = self._plan_counter
         start = cols.total
-        cols.kind_segs.append(_CREAT_ROW)
-        cols.size_segs.append([target_size])
-        n = 1 + self._append_write_out(target_size, cols)
-        budget = self._sample_access_budget(samplers, target_size)
-        read_budget = max(0, budget - target_size)
+        cols.reserve(start + 1)
+        cols.kinds_buf[start] = KIND_CREAT
+        cols.sizes_buf[start] = target_size
+        n = 1 + self._append_write_out(target_size, cols, start + 1)
+        # Spend the rest of the access budget re-reading the fresh file
+        # (NEW files average 2.36 accesses per byte, TEMP 2.00 — beyond
+        # the single write-out pass).
+        read_budget = budget - target_size
         if read_budget > 0:
-            cols.kind_segs.append(_LSEEK_ROW)
-            cols.size_segs.append(_ZERO_I64)
+            row = start + n
+            cols.reserve(row + 1)
+            cols.kinds_buf[row] = KIND_LSEEK
+            cols.sizes_buf[row] = 0.0
             n += 1
             n += self._append_data_cols(read_budget, target_size, 0.0,
                                         cols, start + n)
-        cols.kind_segs.append(_CLOSE_ROW)
-        cols.size_segs.append(_ZERO_I64)
+        row = start + n
+        cols.reserve(row + 2)  # close row, plus the TEMP unlink row
+        cols.kinds_buf[row] = KIND_CLOSE
+        cols.sizes_buf[row] = 0.0
         n += 1
-        path_id = cols.paths.intern(path)
+        ordinal = len(cols.plan_paths)
+        cols.plan_paths.append(path)
         cols.path_pos += (start, start + n - 1)  # creat and close rows
-        cols.path_val += (path_id, path_id)
+        cols.path_ord += (ordinal, ordinal)
         if temporary:
-            cols.kind_segs.append(_UNLINK_ROW)
-            cols.size_segs.append(_ZERO_I64)
+            row = start + n
+            cols.kinds_buf[row] = KIND_UNLINK
+            cols.sizes_buf[row] = 0.0
             n += 1
-            cols.path_pos.append(start + n - 1)
-            cols.path_val.append(path_id)
-            cols.plan_fix_pos.append(start + n - 1)
+            cols.path_pos.append(row)
+            cols.path_ord.append(ordinal)
+            cols.plan_fix_pos.append(row)
             cols.plan_fix_val.append(-1)  # unlink carries no plan id
         cols.flag_pos.append(start)
         cols.flag_val.append(_CREAT_FLAGS)
-        cols.add_plan(n, plan_id, cols.categories.intern(category.key))
+        cols.add_plan(n, plan_id, cat_idx)
 
-    def _append_plan_for_directory(self, samplers: _UsageSamplers, path: str,
-                                   dir_size: int,
+    def _append_plan_for_directory(self, path: str, dir_size: int,
+                                   passes: int, cat_idx: int,
                                    cols: _SessionColumns) -> None:
         """Columnar :meth:`_plan_for_directory`: stat + per-pass listdir."""
-        category = samplers.usage.category
-        plan_id = self._next_plan_id()
-        passes = max(1, int(round(self._sample_ratio(samplers))))
+        self._plan_counter += 1
         n = 1 + passes
-        kinds = np.full(n, KIND_LISTDIR, dtype=np.int8)
-        kinds[0] = KIND_STAT
         start = cols.total
-        cols.kind_segs.append(kinds)
-        cols.size_segs.append(np.full(n, dir_size, dtype=np.int64))
-        path_id = cols.paths.intern(path)
+        end = start + n
+        cols.reserve(end)
+        cols.kinds_buf[start:end] = KIND_LISTDIR
+        cols.kinds_buf[start] = KIND_STAT
+        cols.sizes_buf[start:end] = dir_size
+        ordinal = len(cols.plan_paths)
+        cols.plan_paths.append(path)
         cols.path_pos.extend(range(start, start + n))
-        cols.path_val.extend([path_id] * n)
+        cols.path_ord.extend([ordinal] * n)
         cols.plan_fix_pos.append(start)  # only stat carries the plan id
-        cols.plan_fix_val.append(plan_id)
-        cols.add_plan(n, -1, cols.categories.intern(category.key))
+        cols.plan_fix_val.append(self._plan_counter)
+        cols.add_plan(n, -1, cat_idx)
 
     def _think_col(self, n: int) -> np.ndarray:
         """``n`` think times (µs, int64) — the vectorized
@@ -875,79 +1018,140 @@ class SessionGenerator:
         np.rint(raw, where=ok, out=think)
         return np.minimum(think, _INT64_SATURATE).astype(np.int64)
 
-    def generate_session_batch(self, session_id: int) -> OpBatch:
-        """The columnar :meth:`generate_session`: one login session as an
-        :class:`~repro.core.opbatch.OpBatch`.
 
-        Row ``i`` is the ``i``-th file operation; the think pause that
-        follows it lands in the batch's ``think_us`` column (the exact
-        stream :meth:`generate_session` yields, re-interleavable via
-        :meth:`~repro.core.opbatch.OpBatch.iter_session_ops`).  Timing
-        columns are zero; an execution backend fills them.
+    def _append_session_plans(self, session_id: int,
+                              cols: _SessionColumns) -> None:
+        """The columnar :meth:`_session_plan_specs` walk, entry-grouped.
+
+        Consumes the ``select`` and per-category ``count:`` streams
+        exactly as the scalar walk does — one fraction gate per entry,
+        one count draw per fired entry, one pool ``choice`` per
+        non-creating entry — but takes each fired entry's per-plan
+        budget/size draws as *one block per stream* instead of one
+        scalar draw per plan.  Per-stream draw order is unchanged (each
+        quantity owns a named stream and plans consume it in plan
+        order), so the emitted rows are byte-identical to the scalar
+        walk's; only the Python overhead per plan goes away.
+        """
+        select_random = self._rng_select.random
+        choice = self._rng_select.choice
+        intern_cat = cols.categories.intern
+        user_id = self.user_id
+        for samplers in self._usage_samplers:
+            usage = samplers.usage
+            if select_random() >= usage.fraction_of_users:
+                continue
+            count = self._sample_count(samplers)
+            if samplers.creates:
+                home = self.layout.user_home(user_id)
+                prefix = samplers.prefix
+                temporary = samplers.temporary
+                cat_idx = intern_cat(samplers.key)
+                raw = samplers.file_size.take(count)
+                targets = np.maximum(
+                    np.where(np.isfinite(raw), np.rint(raw), 1.0), 1.0)
+                ratios = _sane_ratios(samplers.access_per_byte.take(count))
+                budgets = np.rint(ratios * targets).tolist()
+                targets = targets.tolist()
+                for k in range(count):
+                    path = (
+                        f"{home}/{prefix}-s{session_id:04d}-"
+                        f"p{self._plan_counter:05d}-{k}"
+                    )
+                    self._append_plan_for_new(
+                        path, int(targets[k]), int(budgets[k]), temporary,
+                        cat_idx, cols,
+                    )
+                continue
+            pool_paths, pool_sizes = self.layout.pool_arrays(
+                usage.category, user_id)
+            if not pool_paths:
+                continue
+            chosen = choice(
+                len(pool_paths), size=min(count, len(pool_paths)),
+                replace=False,
+            ).reshape(-1)
+            cat_idx = intern_cat(samplers.key)
+            ratios = _sane_ratios(samplers.access_per_byte.take(len(chosen)))
+            if samplers.is_dir:
+                passes = np.maximum(np.rint(ratios), 1.0).tolist()
+                for j, idx in enumerate(chosen.tolist()):
+                    self._append_plan_for_directory(
+                        pool_paths[idx], int(pool_sizes[idx]),
+                        int(passes[j]), cat_idx, cols,
+                    )
+            else:
+                sizes = pool_sizes[chosen]
+                budgets = np.rint(ratios * sizes).tolist()
+                sizes = sizes.tolist()
+                write_fraction = samplers.write_fraction
+                mode_flag = samplers.mode_flag
+                for j, idx in enumerate(chosen.tolist()):
+                    self._append_plan_for_existing(
+                        pool_paths[idx], sizes[j], int(budgets[j]),
+                        write_fraction, mode_flag, cat_idx, cols,
+                    )
+
+    def generate_user_batch(
+        self, session_ids,
+    ) -> "tuple[OpBatch, list[int]]":
+        """All of ``session_ids`` fused into one :class:`OpBatch`.
+
+        The fused per-user kernel: every session's plans land in one
+        shared :class:`_SessionColumns`, and the whole user pays *one*
+        kind/size concatenation, one ``np.repeat`` per constant column,
+        one permutation gather, one think-column take, one write-mix
+        take and one :meth:`StringTable.intern_many` — instead of one of
+        each per session.  Returns ``(batch, bounds)`` where
+        ``bounds[i]`` is the first row of the ``i``-th session
+        (``len(bounds) == len(session_ids) + 1``).
+
+        Byte-identity with the scalar path is preserved because fusion
+        only *regroups* draws across sessions, never across streams:
+        each named stream is still consumed session-by-session in draw
+        order (slot/think/write-mix blocks are the concatenation of the
+        per-session blocks), and rows of session ``i`` occupy exactly
+        ``[bounds[i], bounds[i+1])`` — the interleave permutes within a
+        session only.
         """
         cols = _SessionColumns(StringTable(), StringTable())
-        for shape, samplers, path, extra in self._session_plan_specs(
-            session_id
-        ):
-            if shape == "new":
-                self._append_plan_for_new(samplers, path, extra, cols)
-            elif shape == "dir":
-                self._append_plan_for_directory(samplers, path, extra, cols)
-            else:
-                self._append_plan_for_existing(samplers, path, extra, cols)
+        sids = list(session_ids)
+        bounds = [0]
+        plan_marks = [0]
+        for session_id in sids:
+            self._append_session_plans(session_id, cols)
+            bounds.append(cols.total)
+            plan_marks.append(len(cols.lengths))
 
-        # Interleave plans exactly as generate_session does: same FIFO
-        # admission to the open-file window, same per-op slot uniform.
-        # Every op consumes exactly one "slot" draw, so the whole
-        # session's uniforms arrive as one pre-drawn block and the loop
-        # is pure Python bookkeeping — no per-op RNG call.
         lengths = cols.lengths
-        offsets: list[int] = []
-        end = 0
-        for length in lengths:
-            offsets.append(end)
-            end += length
         n = cols.total
-        uniforms = self._slot.take(n).tolist()
-        pending = deque(range(len(lengths)))
-        popleft = pending.popleft
-        cursor: list[int] = []     # per active slot: next global row
-        remaining: list[int] = []  # per active slot: ops left
-        order = [0] * n
-        max_open = self.user_type.max_open_files
-        width = 0
-        for i, u in enumerate(uniforms):
-            if width < max_open and pending:
-                while pending and width < max_open:
-                    j = popleft()
-                    cursor.append(offsets[j])
-                    remaining.append(lengths[j])
-                    width += 1
-            s = int(u * width)
-            if s == width:  # float rounding of u ≈ 1 (see _seek_offset)
-                s = width - 1
-            row = cursor[s]
-            order[i] = row
-            left = remaining[s] - 1
-            if left:
-                cursor[s] = row + 1
-                remaining[s] = left
-            else:
-                del cursor[s]
-                del remaining[s]
-                width -= 1
-
         user_types = StringTable()
         type_idx = user_types.intern(self.user_type.name)
-        if not lengths:
+        if n == 0:
             batch = OpBatch.empty(0, cols.paths, cols.categories, user_types)
             batch.think_us = self._think_col(0)
-            return batch
+            return batch, bounds
 
-        kinds = np.concatenate(cols.kind_segs)
+        offsets = [0] * len(lengths)
+        acc = 0
+        for j, length in enumerate(lengths):
+            offsets[j] = acc
+            acc += length
+        # Interleave plans exactly as generate_session does: same FIFO
+        # admission to the open-file window, same per-op slot uniform.
+        # Every op consumes exactly one "slot" draw, so the user's whole
+        # uniform block pre-draws in one take.
+        uniforms = self._slot.take(n).tolist()
+        order = [0] * n
+        max_open = self.user_type.max_open_files
+        for s in range(len(sids)):
+            _interleave(lengths, offsets, plan_marks[s], plan_marks[s + 1],
+                        uniforms, order, bounds[s], max_open)
+
+        kinds = cols.kinds_buf[:n]
         if cols.mix_count:
-            # One write-mix block for the whole session: same draws, in
-            # the same per-stream order, as the scalar per-op draws.
+            # One write-mix block for the whole user: same draws, in the
+            # same per-stream order, as the scalar per-op draws.
             counts = np.asarray(cols.mix_count)
             total_mix = int(counts.sum())
             mix = self._write_mix.take(total_mix)
@@ -967,20 +1171,28 @@ class SessionGenerator:
         if cols.plan_fix_pos:
             plan_col[cols.plan_fix_pos] = cols.plan_fix_val
         path_col = np.full(n, -1, dtype=np.int32)
-        path_col[cols.path_pos] = cols.path_val
+        if cols.path_pos:
+            path_ids = cols.paths.intern_many(cols.plan_paths)
+            path_col[cols.path_pos] = path_ids[cols.path_ord]
         flags_col = np.zeros(n, dtype=np.int16)
         if cols.flag_pos:
             flags_col[cols.flag_pos] = cols.flag_val
+        session_col = np.repeat(
+            np.asarray(sids, dtype=np.int64),
+            np.diff(np.asarray(bounds, dtype=np.int64)),
+        )
         batch = OpBatch(
             kinds=kinds[perm],
             plan_ids=plan_col[perm],
-            sizes=np.concatenate(cols.size_segs)[perm],
+            sizes=cols.sizes_buf[:n][perm].astype(np.int64),
             flags=flags_col[perm],
             path_idx=path_col[perm],
             category_idx=np.repeat(
                 np.asarray(cols.cat_base, dtype=np.int32), reps)[perm],
             user_ids=np.full(n, self.user_id, dtype=np.int64),
-            session_ids=np.full(n, session_id, dtype=np.int64),
+            # perm permutes within sessions only, so the session column
+            # needs no gather.
+            session_ids=session_col,
             user_type_idx=np.full(n, type_idx, dtype=np.int32),
             start_us=np.zeros(n, dtype=np.float64),
             response_us=np.zeros(n, dtype=np.float64),
@@ -989,4 +1201,78 @@ class SessionGenerator:
             categories=cols.categories,
             user_types=user_types,
         )
+        return batch, bounds
+
+    def generate_session_batch(self, session_id: int) -> OpBatch:
+        """The columnar :meth:`generate_session`: one login session as an
+        :class:`~repro.core.opbatch.OpBatch`.
+
+        Row ``i`` is the ``i``-th file operation; the think pause that
+        follows it lands in the batch's ``think_us`` column (the exact
+        stream :meth:`generate_session` yields, re-interleavable via
+        :meth:`~repro.core.opbatch.OpBatch.iter_session_ops`).  Timing
+        columns are zero; an execution backend fills them.  (One-session
+        form of :meth:`generate_user_batch`.)
+        """
+        batch, _ = self.generate_user_batch((session_id,))
         return batch
+
+
+def _sane_ratios(ratios: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`SessionGenerator._sample_ratio` clamp:
+    non-finite or negative accesses-per-byte draws become 0.0."""
+    bad = ~(np.isfinite(ratios) & (ratios >= 0.0))
+    if bad.any():
+        ratios = np.where(bad, 0.0, ratios)
+    return ratios
+
+
+def _interleave(lengths: list, offsets: list, p0: int, p1: int,
+                uniforms: list, order: list, i: int, max_open: int) -> None:
+    """Fill ``order[i:]`` with one session's plan-interleave permutation.
+
+    The same walk as :meth:`SessionGenerator.generate_session`'s loop —
+    FIFO admission of plans ``p0..p1`` into the open-file window, one
+    slot uniform per op, ``floor(u * width)`` with the u ≈ 1 clamp —
+    over pre-drawn uniforms.  Structured so admission is only re-checked
+    after an exhaustion event (the window can only open then), and the
+    common single-plan tail is emitted as one slice assignment: with
+    ``width == 1`` every remaining draw selects slot 0, so the rows are
+    simply sequential (the uniforms were already drawn; skipping their
+    *reads* consumes nothing).
+    """
+    cursor: list[int] = []     # per active slot: next global row
+    remaining: list[int] = []  # per active slot: ops left
+    admit_cursor = cursor.append
+    admit_remaining = remaining.append
+    width = 0
+    nxt = p0
+    while True:
+        while nxt < p1 and width < max_open:
+            admit_cursor(offsets[nxt])
+            admit_remaining(lengths[nxt])
+            nxt += 1
+            width += 1
+        if width == 0:
+            return
+        if width == 1 and nxt >= p1:
+            row = cursor[0]
+            left = remaining[0]
+            order[i:i + left] = range(row, row + left)
+            return
+        while True:
+            s = int(uniforms[i] * width)
+            if s == width:  # float rounding of u ≈ 1 (see _seek_offset)
+                s = width - 1
+            row = cursor[s]
+            order[i] = row
+            i += 1
+            left = remaining[s] - 1
+            if left:
+                cursor[s] = row + 1
+                remaining[s] = left
+            else:
+                del cursor[s]
+                del remaining[s]
+                width -= 1
+                break

@@ -52,17 +52,44 @@ class BatchSampler:
         want hundreds, once-per-session quantities are fine with tens.
     """
 
-    __slots__ = ("_dist", "_rng", "_block", "_buffer", "_next", "_constant")
+    __slots__ = ("_dist", "_rng", "_rng_factory", "_block", "_buffer",
+                 "_next", "_constant")
 
-    def __init__(self, dist, rng: np.random.Generator, block: int = 256):
+    def __init__(self, dist, rng=None, block: int = 256, rng_factory=None):
         if block < 1:
             raise DistributionError(f"block must be >= 1, got {block}")
+        if rng is None and rng_factory is None:
+            raise DistributionError("BatchSampler needs rng or rng_factory")
         self._dist = dist
+        # ``rng_factory`` defers generator *construction* to the first
+        # refill: a sampler whose stream is never drawn (a usage entry
+        # whose fraction gate never fires, the seek stream in sequential
+        # mode) then never pays the SeedSequence/PCG64 setup at all.
+        # Laziness cannot change any stream — an unconstructed generator
+        # was never consumed.
         self._rng = rng
+        self._rng_factory = rng_factory
         self._block = int(block)
         self._buffer: np.ndarray | None = None
         self._next = 0
         self._constant = float(dist.value) if isinstance(dist, Constant) else None
+
+    def rebind(self, rng=None, rng_factory=None) -> "BatchSampler":
+        """Point this sampler at a fresh stream and forget the old block.
+
+        The object-pooling hook: a pooled sampler is *reset, not
+        reconstructed* between users.  After ``rebind`` the very next
+        draw refills from the new stream, so the served sequence is
+        exactly what a freshly constructed sampler would serve — the
+        no-state-leak property ``tests/core/test_pooled_state.py`` pins.
+        """
+        if rng is None and rng_factory is None:
+            raise DistributionError("rebind needs rng or rng_factory")
+        self._rng = rng
+        self._rng_factory = rng_factory
+        self._buffer = None
+        self._next = 0
+        return self
 
     def draw(self) -> float:
         """Return the next scalar variate, refilling the block if needed."""
@@ -76,8 +103,11 @@ class BatchSampler:
         return value
 
     def _refill(self) -> np.ndarray:
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = self._rng_factory()
         buffer = np.asarray(
-            self._dist.sample(self._rng, size=self._block), dtype=float
+            self._dist.sample(rng, size=self._block), dtype=float
         )
         self._buffer = buffer
         self._next = 0

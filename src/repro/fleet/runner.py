@@ -349,6 +349,39 @@ class _MeterQueue:
         self.meter.update_shard(shard, users, ops)
 
 
+_GENERATOR_CACHE: "list[tuple[WorkloadSpec, WorkloadGenerator]]" = []
+"""Per-process generator reuse: at most one ``(spec, generator)`` pair.
+
+Module-level (like ``_PROGRESS_QUEUE``) because pool tasks must stay
+plain data; the cache lives for the worker process and is keyed on the
+spec *object*, so it only ever hits when one process executes several
+shards of the same resolved run."""
+
+
+def _shard_generator(spec: WorkloadSpec, backend: str) -> WorkloadGenerator:
+    """The shard's :class:`WorkloadGenerator`, pooled per process.
+
+    A process that executes several shards of one fleet run receives the
+    identical resolved spec in every task; rebuilding the generator per
+    shard repeats the GDS tabulation and — on the engine-free backends —
+    the whole-population manifest redraw that
+    :meth:`~repro.core.generator.WorkloadGenerator.run_simulated`
+    memoizes.  Reuse is byte-identical for the engine-free backends:
+    they never advance generator-held stream state across runs (the
+    manifest is a pure function of the seed, and every user draw comes
+    from a fresh ``user-{id}`` fork).  The DES backends *do* consume the
+    stateful ``fsc`` stream each time they materialise a store, so they
+    always get a fresh generator.
+    """
+    if backend not in FAST_BACKENDS:
+        return WorkloadGenerator(spec)
+    if _GENERATOR_CACHE and _GENERATOR_CACHE[0][0] is spec:
+        return _GENERATOR_CACHE[0][1]
+    generator = WorkloadGenerator(spec)
+    _GENERATOR_CACHE[:] = [(spec, generator)]
+    return generator
+
+
 def _run_shard(task: _ShardTask) -> ShardOutcome:
     """Execute one shard (runs inside a worker process or in-process)."""
     plan = task.plan
@@ -375,7 +408,7 @@ def _run_shard(task: _ShardTask) -> ShardOutcome:
             observer=observer,
         )
         log_sink = TeeSink(sink, stream_sink)
-    generator = WorkloadGenerator(task.spec)
+    generator = _shard_generator(task.spec, task.backend)
     try:
         result = generator.run_simulated(
             sessions_per_user=task.sessions_per_user,

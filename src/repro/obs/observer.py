@@ -29,6 +29,8 @@ from __future__ import annotations
 import time
 from typing import Iterable, Iterator, Protocol, runtime_checkable
 
+import numpy as np
+
 from .metrics import MetricsRegistry
 
 __all__ = [
@@ -180,6 +182,7 @@ class RunObserver:
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.progress = progress
         self.stages: dict[str, StageTimes] = {}
+        self._sinks: list[ObservingSink] = []
         self._users = self.metrics.counter("users")
         self._ops = self.metrics.counter("ops")
 
@@ -238,13 +241,21 @@ class RunObserver:
     # -- sink instrumentation -------------------------------------------------
 
     def wrap_sink(self, sink) -> "ObservingSink":
-        """An instrumented pass-through around ``sink``."""
-        return ObservingSink(sink, self)
+        """An instrumented pass-through around ``sink``.
+
+        The wrapper is remembered so :meth:`snapshot` can flush its
+        deferred batch accounting before reading the registry.
+        """
+        wrapped = ObservingSink(sink, self)
+        self._sinks.append(wrapped)
+        return wrapped
 
     # -- reporting ------------------------------------------------------------
 
     def snapshot(self) -> dict:
         """Registry snapshot plus the per-stage span table."""
+        for sink in self._sinks:
+            sink.flush()
         out = self.metrics.snapshot()
         out["stages"] = {
             name: times.as_dict() for name, times in sorted(
@@ -253,21 +264,42 @@ class RunObserver:
         return out
 
 
+_FLUSH_ROWS = 65536
+"""Deferred-accounting flush threshold (rows buffered per sink).
+
+Executed batches are one session each — a few dozen rows — so the
+dozen-odd NumPy reductions the stat and histogram accounting needs
+would cost more per batch than the statistics are worth.  The sink
+buffers the response/size columns instead and folds them in bulk:
+at this many rows, on :meth:`ObservingSink.flush`, and automatically
+from :meth:`RunObserver.snapshot`.  The threshold bounds what a
+streaming million-user run keeps alive to a few thousand small views.
+"""
+
+
 class ObservingSink:
     """Counts what flows into a sink, then forwards it untouched.
 
-    The columnar path pays one timed pass per *batch* (a handful of
-    array reductions); the scalar path pays a few attribute updates per
-    record and is deliberately not timed — two clock reads per op would
-    cost more than the accounting itself.  If the wrapped sink has no
-    ``record_batch``, batches are bridged through
-    :meth:`~repro.core.opbatch.OpBatch.to_records` exactly the way the
-    executors themselves would have bridged them, so wrapping never
-    changes what the inner sink receives.
+    The columnar path forwards each batch, then only *buffers* its
+    response and size columns — the array reductions behind the
+    ``response_us`` stat/histogram and the ``bytes_moved`` counter run
+    over large concatenated chunks at flush time, so the per-batch
+    marginal cost is two clock reads and two list appends.  Deferral is
+    safe because executed batches carry freshly built columns (nothing
+    mutates them after ``record_batch``) and exact for counts, extrema,
+    bins and byte totals; mean/variance land within the documented
+    parallel-Welford tolerance of per-batch folding.  The scalar path
+    pays a few attribute updates per record and is deliberately not
+    timed — two clock reads per op would cost more than the accounting
+    itself.  If the wrapped sink has no ``record_batch``, batches are
+    bridged through :meth:`~repro.core.opbatch.OpBatch.to_records`
+    exactly the way the executors themselves would have bridged them,
+    so wrapping never changes what the inner sink receives.
     """
 
     __slots__ = ("inner", "observer", "_inner_batch", "_times",
-                 "_sessions", "_bytes", "_response", "_hist")
+                 "_sessions", "_bytes", "_response", "_hist",
+                 "_pending_response", "_pending_sizes", "_pending_rows")
 
     def __init__(self, inner, observer: RunObserver):
         self.inner = inner
@@ -279,6 +311,9 @@ class ObservingSink:
         self._bytes = metrics.counter("bytes_moved")
         self._response = metrics.stat("response_us")
         self._hist = metrics.histogram("response_us", *RESPONSE_HIST_US)
+        self._pending_response: list = []
+        self._pending_sizes: list = []
+        self._pending_rows = 0
 
     def record_op(self, record) -> None:
         self._bytes.inc(record.size)
@@ -301,13 +336,33 @@ class ObservingSink:
             record_op = self.inner.record_op
             for record in batch.to_records():
                 record_op(record)
+        self._pending_response.append(batch.response_us)
+        self._pending_sizes.append(batch.sizes)
+        self._pending_rows += n
+        self._times.add(time.perf_counter() - wall0,
+                        time.process_time() - cpu0, rows=n)
+        self.observer.tick_ops(n)
+        if self._pending_rows >= _FLUSH_ROWS:
+            self.flush()
+
+    def flush(self) -> None:
+        """Fold the buffered batch columns into the registry.
+
+        Idempotent and cheap when nothing is pending; called from
+        :meth:`RunObserver.snapshot`, from the run driver once the
+        executor drains, and automatically past :data:`_FLUSH_ROWS`.
+        """
+        if not self._pending_rows:
+            return
+        response = np.concatenate(self._pending_response)
         # Executed batches carry the *recorded* size column (data movers
         # keep their byte count, everything else is already zero), so
         # the plain sum is exactly the bytes-moved figure.
-        self._bytes.inc(int(batch.sizes.sum()))
-        self._response.add_array(batch.response_us)
-        self._hist.add_array(batch.response_us)
-        self._times.add(time.perf_counter() - wall0,
-                        time.process_time() - cpu0, rows=n,
-                        nbytes=int(batch.sizes.sum()))
-        self.observer.tick_ops(n)
+        nbytes = int(np.concatenate(self._pending_sizes).sum())
+        self._pending_response.clear()
+        self._pending_sizes.clear()
+        self._pending_rows = 0
+        self._bytes.inc(nbytes)
+        self._times.bytes += nbytes
+        self._response.add_array(response)
+        self._hist.add_array(response)

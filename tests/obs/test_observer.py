@@ -148,11 +148,14 @@ class TestObservingSink:
         sink = obs.wrap_sink(inner)
         batch = OpBatch.from_records(make_records(5))
         sink.record_batch(batch)
+        # Forwarding and the op/row ticks are live; the array accounting
+        # (bytes, stat, histogram) is deferred until flush.
         assert inner.operations == batch.to_records()
         assert obs.metrics.counter("ops").value == 5
+        assert obs.stages["sink"].rows == 5
+        sink.flush()
         assert (obs.metrics.counter("bytes_moved").value
                 == int(batch.sizes.sum()))
-        assert obs.stages["sink"].rows == 5
         assert obs.stages["sink"].bytes == int(batch.sizes.sum())
 
     def test_batch_path_bridges_for_scalar_only_inner(self):
@@ -165,7 +168,20 @@ class TestObservingSink:
         # own to_records fallback would have handed it.
         assert inner.ops == batch.to_records()
         assert obs.metrics.counter("ops").value == 3
+        sink.flush()
         assert obs.metrics.stat("response_us").count == 3
+
+    def test_snapshot_flushes_deferred_batch_accounting(self):
+        obs = RunObserver()
+        sink = obs.wrap_sink(UsageLog())
+        batch = OpBatch.from_records(make_records(4))
+        sink.record_batch(batch)
+        snap = obs.snapshot()
+        assert snap["stats"]["response_us"]["count"] == 4
+        assert (snap["counters"]["bytes_moved"]
+                == int(batch.sizes.sum()))
+        # flush is idempotent: a second snapshot counts nothing twice.
+        assert obs.snapshot()["stats"]["response_us"]["count"] == 4
 
 
 class TestEndToEndCounters:
