@@ -17,7 +17,10 @@ The package provides:
 * :mod:`repro.scenarios` — a registry of named, ready-to-run workload
   mixes (campus, dev team, batch, database, ...);
 * :mod:`repro.fleet` — sharded multi-process generation for large
-  populations, with deterministic merged statistics;
+  populations, with deterministic merged statistics, supervised retry,
+  and checkpoint/resume;
+* :mod:`repro.faults` — deterministic fault injection (worker kills,
+  stalls, ENOSPC, bit-flips) proving the recovery paths;
 * :mod:`repro.traces` — external-trace ingestion (CSV/JSONL/strace/
   nfsdump), spec calibration, and closed-loop fidelity validation;
 * :mod:`repro.obs` — zero-overhead-when-off run observability: metrics
@@ -93,10 +96,13 @@ from .distributions import (
     TabulatedPdf,
     Uniform,
 )
+from .faults import FaultSpec, parse_fault
 from .fleet import (
     FleetConfig,
+    FleetPartialError,
     FleetResult,
     WorkloadTally,
+    resume_fleet_config,
     run_fleet,
 )
 from .obs import (
@@ -119,7 +125,7 @@ from .scenarios import (
 )
 from .vfs import LocalFileSystem, MemoryFileSystem, OpenFlags
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ArrivalModel",
@@ -162,9 +168,13 @@ __all__ = [
     "TabulatedCdf",
     "TabulatedPdf",
     "Uniform",
+    "FaultSpec",
+    "parse_fault",
     "FleetConfig",
+    "FleetPartialError",
     "FleetResult",
     "WorkloadTally",
+    "resume_fleet_config",
     "run_fleet",
     "MetricsRegistry",
     "NULL_OBSERVER",

@@ -8,8 +8,10 @@ experiments:
 * ``figures`` — regenerate a paper table/figure by identifier;
 * ``compare`` — the section 5.3 file-system comparison;
 * ``mkfs`` — create the initial file system in a directory (FSC only);
-* ``fleet run`` — sharded multi-process generation from a named scenario;
+* ``fleet run`` — sharded multi-process generation from a named scenario,
+  with supervised retry, ``--resume``, and ``--inject-fault`` chaos runs;
 * ``fleet scenarios`` — list the scenario library;
+* ``stream verify`` — CRC-walk an op-stream artifact, non-zero on damage;
 * ``characterize`` — re-derive the Table 5.2 characterization from a log;
 * ``trace import`` — parse an external trace into the usage-log format;
 * ``trace calibrate`` — fit a workload spec (JSON artefact) to a trace;
@@ -25,7 +27,13 @@ import time
 
 from . import __version__
 from .core import RUN_BACKENDS, WorkloadGenerator, paper_workload_spec
-from .fleet import FleetConfig, run_fleet
+from .faults import FaultError, parse_fault
+from .fleet import (
+    FleetConfig,
+    FleetPartialError,
+    resume_fleet_config,
+    run_fleet,
+)
 from .harness import (
     fleet_report,
     compare_file_systems,
@@ -190,6 +198,28 @@ def build_parser() -> argparse.ArgumentParser:
                                 "1 hour when arrivals are enabled)")
     stream_out_args(fleet_run)
     obs_args(fleet_run)
+    fleet_run.add_argument("--resume", metavar="RUN_DIR", default=None,
+                           help="continue a killed stream run from its "
+                                "<out-stream>.run directory; verified "
+                                "chunks are reused, only the tail is "
+                                "regenerated (bit-for-bit identical)")
+    fleet_run.add_argument("--max-retries", type=int, default=2,
+                           help="retries per shard before quarantine "
+                                "(default: 2)")
+    fleet_run.add_argument("--shard-timeout-s", type=float, default=None,
+                           help="kill and retry a shard with no progress "
+                                "heartbeat for this long")
+    fleet_run.add_argument("--allow-partial", action="store_true",
+                           help="accept a run with quarantined shards "
+                                "instead of exiting with status 3")
+    fleet_run.add_argument("--keep-run-dir", action="store_true",
+                           help="keep <out-stream>.run after a failed run "
+                                "so it can be resumed")
+    fleet_run.add_argument("--inject-fault", metavar="SPEC", default=[],
+                           action="append", dest="inject_faults",
+                           help="arm a deterministic fault (repeatable), "
+                                "e.g. kill:shard=0,row=120 or "
+                                "enospc:shard=1,chunk=2 — see repro.faults")
 
     fleet_sub.add_parser("scenarios", help="list the scenario library")
 
@@ -202,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="print an artifact's header, totals and metadata"
     )
     s_info.add_argument("streamfile")
+
+    s_verify = stream_sub.add_parser(
+        "verify",
+        help="CRC-walk every chunk of an artifact; non-zero exit and a "
+             "per-chunk error report on corruption or truncation",
+    )
+    s_verify.add_argument("streamfile")
 
     s_merge = stream_sub.add_parser(
         "merge",
@@ -495,25 +532,57 @@ def _main_fleet(args: argparse.Namespace) -> int:
             print(f"error: cannot write --oplog: {exc}", file=sys.stderr)
             return 2
     try:
-        config = FleetConfig(
-            scenario=args.scenario,
-            users=args.users,
-            shards=args.shards,
-            workers=args.workers,
-            sessions_per_user=args.sessions,
-            seed=args.seed,
-            backend=args.backend,
-            total_files=args.files,
-            collect_ops=args.oplog is not None,
-            use_arrivals=args.arrivals,
-            profile=args.profile,
-            window_us=args.window_us,
-            out_stream=args.out_stream,
-            stream_budget_bytes=args.stream_budget_bytes,
-            metrics_out=args.metrics_out,
-            progress=args.progress,
-        )
+        faults = tuple(parse_fault(text) for text in args.inject_faults)
+    except FaultError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    partial = None
+    try:
+        if args.resume is not None:
+            config = resume_fleet_config(
+                args.resume,
+                workers=args.workers,
+                progress=args.progress,
+                metrics_out=args.metrics_out,
+                max_retries=args.max_retries,
+                retry_backoff_s=0.25,
+                shard_timeout_s=args.shard_timeout_s,
+                allow_partial=args.allow_partial,
+                keep_run_dir=args.keep_run_dir or not args.allow_partial,
+                faults=faults,
+            )
+        else:
+            config = FleetConfig(
+                scenario=args.scenario,
+                users=args.users,
+                shards=args.shards,
+                workers=args.workers,
+                sessions_per_user=args.sessions,
+                seed=args.seed,
+                backend=args.backend,
+                total_files=args.files,
+                collect_ops=args.oplog is not None,
+                use_arrivals=args.arrivals,
+                profile=args.profile,
+                window_us=args.window_us,
+                out_stream=args.out_stream,
+                stream_budget_bytes=args.stream_budget_bytes,
+                metrics_out=args.metrics_out,
+                progress=args.progress,
+                max_retries=args.max_retries,
+                shard_timeout_s=args.shard_timeout_s,
+                faults=faults,
+                allow_partial=args.allow_partial,
+                # Keep the checkpoint dir when a run fails outright so
+                # `fleet run --resume` has something to pick up; a run
+                # accepted via --allow-partial published its artifact
+                # and sweeps unless the user asked otherwise.
+                keep_run_dir=args.keep_run_dir or not args.allow_partial,
+            )
         result = run_fleet(config)
+    except FleetPartialError as exc:
+        result = exc.result
+        partial = str(exc)
     except (ScenarioError, SpecError) as exc:
         # KeyError reprs its message with quotes; unwrap for a clean line.
         message = exc.args[0] if exc.args else str(exc)
@@ -527,14 +596,22 @@ def _main_fleet(args: argparse.Namespace) -> int:
                 pass
         return 2
     print(fleet_report(result))
-    if args.oplog is not None:
+    if partial is not None:
+        if result.metrics_out is not None:
+            print(f"\npartial-run manifest written to {result.metrics_out}")
+        if config.keep_run_dir and config.run_dir is not None:
+            print(f"\ncheckpoints kept in {config.run_dir}; rerun with "
+                  f"`fleet run --resume {config.run_dir}` to finish")
+        print(f"error: {partial}", file=sys.stderr)
+        return 3
+    if args.oplog is not None and result.log is not None:
         with open(args.oplog, "w", encoding="utf-8") as stream:
             result.log.dump(stream)
         print(f"\nmerged usage log ({len(result.log.operations)} ops) "
               f"written to {args.oplog}")
-    if args.out_stream is not None:
+    if result.out_stream is not None:
         print(f"\nmerged op-stream artifact ({result.tally.operations} ops) "
-              f"written to {args.out_stream}")
+              f"written to {result.out_stream}")
     if args.metrics_out is not None:
         print(f"\nrun manifest written to {args.metrics_out}")
     return 0
@@ -552,6 +629,21 @@ def _main_stream(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         return 0
+
+    if args.stream_command == "verify":
+        import os
+
+        from .core import verify_stream
+
+        if not os.path.exists(args.streamfile):
+            print(f"error: no such file: {args.streamfile}", file=sys.stderr)
+            return 2
+        report = verify_stream(args.streamfile)
+        print(format_kv(report.as_kv(),
+                        title="Op-stream verification"))
+        for error in report.errors:
+            print(f"  - {error}")
+        return 0 if report.ok else 1
 
     if args.stream_command == "merge":
         try:

@@ -70,6 +70,7 @@ __all__ = [
     "STREAM_FORMAT_VERSION",
     "ROW_BYTES",
     "DEFAULT_MEMORY_BUDGET",
+    "CHECKPOINT_SUFFIX",
     "StreamFormatError",
     "rows_per_chunk_for",
     "TeeSink",
@@ -80,6 +81,11 @@ __all__ = [
     "StreamReader",
     "iter_batches",
     "merge_stream_files",
+    "SalvagedStream",
+    "salvage_stream",
+    "resume_stream_sink",
+    "StreamVerifyReport",
+    "verify_stream",
 ]
 
 MAGIC = b"REPRO-OPSTREAM\x00"
@@ -124,6 +130,21 @@ _HEAD_FMT = "<LL"  # frame length, crc32 (header frame)
 _FRAME_FMT = "<cQL"  # frame type, payload length, crc32
 _TAIL_FMT = "<Q"  # footer frame offset (followed by MAGIC)
 _TAIL_BYTES = struct.calcsize(_TAIL_FMT) + len(MAGIC)
+
+CHECKPOINT_SUFFIX = ".progress"
+"""Sidecar suffix of a checkpointing writer's progress record.
+
+The sidecar is a small JSON document rewritten atomically
+(tmp + ``os.replace``) after every chunk flush: it names the chunks
+already durable in the main file so :func:`salvage_stream` can verify
+exactly those frames after a crash instead of scanning blind.  It is
+advisory — salvage falls back to a sequential CRC walk whenever the
+sidecar is missing, stale, or disagrees with the data file — and it is
+deleted when the artifact closes cleanly (a complete file carries its
+own footer index).
+"""
+CHECKPOINT_FORMAT = "repro.opstream-progress"
+CHECKPOINT_VERSION = 1
 
 
 class StreamFormatError(ValueError):
@@ -369,6 +390,63 @@ def _decode_chunk(payload: bytes, what: str):
 
 
 # ---------------------------------------------------------------------------
+# Header parsing (shared by the reader, salvage, and verification)
+# ---------------------------------------------------------------------------
+
+
+def _parse_header(stream, size: int, path: str) -> tuple[int, dict, int]:
+    """Validate and decode the header at the start of ``stream``.
+
+    Returns ``(version, header, data_start)`` where ``data_start`` is
+    the offset of the first frame.  Raises :class:`StreamFormatError`
+    on any structural problem, exactly like :class:`StreamReader`.
+    """
+
+    def must_read(n: int, what: str) -> bytes:
+        if n < 0 or n > size:
+            raise StreamFormatError(f"truncated stream file: {what}")
+        raw = stream.read(n)
+        if len(raw) != n:
+            raise StreamFormatError(f"truncated stream file: {what}")
+        return raw
+
+    stream.seek(0)
+    magic = stream.read(len(MAGIC))
+    if magic != MAGIC:
+        raise StreamFormatError(
+            f"{path!r} is not an op-stream file (bad magic)"
+        )
+    (version,) = struct.unpack("<H", must_read(2, "version"))
+    if version > FORMAT_VERSION:
+        raise StreamFormatError(
+            f"stream format version {version} is newer than this "
+            f"reader (supports <= {FORMAT_VERSION})"
+        )
+    length, crc = struct.unpack(
+        _HEAD_FMT, must_read(struct.calcsize(_HEAD_FMT), "header"))
+    raw = must_read(length, "header JSON")
+    if zlib.crc32(raw) != crc:
+        raise StreamFormatError("header failed its checksum")
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise StreamFormatError(f"corrupt header JSON: {exc}") from None
+    if int(header.get("version", -1)) != version:
+        raise StreamFormatError(
+            f"header version {header.get('version')!r} disagrees with "
+            f"the file's version field {version} (corrupt header?)"
+        )
+    if tuple(header.get("kinds", ())) != OP_KIND_NAMES:
+        raise StreamFormatError(
+            "stream file kind table does not match this build: "
+            f"{tuple(header.get('kinds', ()))!r}"
+        )
+    if [tuple(c) for c in header.get("columns", [])] != list(_COLUMNS):
+        raise StreamFormatError("stream file column schema mismatch")
+    return version, header, stream.tell()
+
+
+# ---------------------------------------------------------------------------
 # Writer
 # ---------------------------------------------------------------------------
 
@@ -387,7 +465,8 @@ class StreamWriter:
     """
 
     def __init__(self, path: str, rows_per_chunk: int,
-                 metadata: dict | None = None, observer=None):
+                 metadata: dict | None = None, observer=None,
+                 checkpoint: bool = False, flush_hook=None):
         if rows_per_chunk < 1:
             raise ValueError(
                 f"rows_per_chunk must be >= 1, got {rows_per_chunk}"
@@ -401,6 +480,13 @@ class StreamWriter:
         # boundaries stay a pure function of the global row count.
         self._observer = (observer if observer is not None
                           and getattr(observer, "enabled", False) else None)
+        # ``checkpoint`` makes every chunk flush durable (file flush +
+        # atomic sidecar rewrite) so a crashed run can salvage the
+        # prefix; ``flush_hook(chunk_index)`` runs before each flush —
+        # the fault-injection seam for spill-path errors (ENOSPC).
+        # Neither changes a single byte of the artifact itself.
+        self._checkpoint = bool(checkpoint)
+        self._flush_hook = flush_hook
         self._pieces: list[OpBatch] = []
         self._buffered = 0
         self._rows_done = 0
@@ -415,6 +501,58 @@ class StreamWriter:
         except BaseException:
             self._stream.close()
             raise
+
+    @classmethod
+    def resume(cls, salvaged: "SalvagedStream",
+               metadata: dict | None = None, observer=None,
+               checkpoint: bool = False, flush_hook=None) -> "StreamWriter":
+        """Continue writing a crashed artifact from its salvaged prefix.
+
+        The file is truncated to the end of the last intact chunk and
+        the writer picks up with the salvaged row/session/chunk counts,
+        so the frames it appends are exactly the frames the original
+        writer would have written next — chunk boundaries are a pure
+        function of the global row count.  The caller must feed the
+        *remaining* event stream (everything after the salvaged rows)
+        in the original order.
+
+        ``metadata`` must match the salvaged header's (the header is
+        already on disk and is not rewritten); a mismatch means the
+        resume does not describe the same run and is rejected.
+        """
+        if salvaged.complete:
+            raise StreamFormatError(
+                f"{salvaged.path}: artifact is complete; nothing to resume"
+            )
+        if metadata is not None and dict(metadata) != salvaged.metadata:
+            raise StreamFormatError(
+                f"{salvaged.path}: resume metadata does not match the "
+                "on-disk header"
+            )
+        writer = cls.__new__(cls)
+        writer.path = salvaged.path
+        writer.rows_per_chunk = int(salvaged.rows_per_chunk)
+        writer.metadata = dict(salvaged.metadata)
+        writer._observer = (observer if observer is not None
+                            and getattr(observer, "enabled", False) else None)
+        writer._checkpoint = bool(checkpoint)
+        writer._flush_hook = flush_hook
+        writer._pieces = []
+        writer._buffered = 0
+        writer._rows_done = salvaged.rows
+        writer._sessions = []
+        writer._sessions_done = salvaged.sessions
+        writer._index = [dict(entry) for entry in salvaged.index]
+        writer._closed = False
+        writer.chunks_written = len(salvaged.index)
+        writer._stream = open(salvaged.path, "r+b")
+        try:
+            writer._stream.truncate(salvaged.data_end)
+            writer._stream.seek(salvaged.data_end)
+        except BaseException:
+            writer._stream.close()
+            raise
+        return writer
 
     # -- events ---------------------------------------------------------------
 
@@ -446,9 +584,28 @@ class StreamWriter:
             if self._buffered or self._sessions:
                 self._flush_chunk(self._buffered)
             self._write_footer()
+            if self._checkpoint:
+                # A complete artifact carries its own footer index; the
+                # sidecar would only go stale from here.
+                with contextlib.suppress(OSError):
+                    os.unlink(self.path + CHECKPOINT_SUFFIX)
         finally:
             self._closed = True
             self._stream.close()
+
+    def abort(self) -> None:
+        """Stop writing WITHOUT a footer (crash/failure path).
+
+        Buffered rows are dropped; chunks already flushed stay on disk
+        for :func:`salvage_stream`.  A footer must never cover a partial
+        run — it would make the truncated artifact indistinguishable
+        from a complete one and poison both resume and verification.
+        Idempotent, and a no-op after :meth:`close`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._stream.close()
 
     def __enter__(self) -> "StreamWriter":
         return self
@@ -490,6 +647,8 @@ class StreamWriter:
         return concat_batches(taken)
 
     def _flush_chunk(self, take: int) -> None:
+        if self._flush_hook is not None:
+            self._flush_hook(self.chunks_written)
         if self._observer is not None:
             wall0 = time.perf_counter()
             cpu0 = time.process_time()
@@ -529,6 +688,30 @@ class StreamWriter:
         self._buffered -= take
         self._sessions_done += len(sessions)
         self.chunks_written += 1
+        if self._checkpoint:
+            self._write_checkpoint()
+
+    def _write_checkpoint(self) -> None:
+        """Make the flushed prefix durable and record it in the sidecar."""
+        self._stream.flush()
+        state = json.dumps(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "version": CHECKPOINT_VERSION,
+                "rows_per_chunk": self.rows_per_chunk,
+                "chunks": self.chunks_written,
+                "rows": self._rows_done,
+                "sessions": self._sessions_done,
+                "data_end": self._stream.tell(),
+                "index": self._index,
+            },
+            sort_keys=True, separators=(",", ":"),
+        )
+        sidecar = self.path + CHECKPOINT_SUFFIX
+        tmp = sidecar + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(state)
+        os.replace(tmp, sidecar)
 
     def _write_footer(self) -> None:
         footer = json.dumps(
@@ -597,15 +780,27 @@ class StreamFileSink:
 
     def __init__(self, path: str,
                  memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
-                 metadata: dict | None = None, observer=None):
+                 metadata: dict | None = None, observer=None,
+                 checkpoint: bool = False, flush_hook=None):
         self.memory_budget_bytes = int(memory_budget_bytes)
         self._writer = StreamWriter(
             path, rows_per_chunk_for(memory_budget_bytes), metadata=metadata,
-            observer=observer)
+            observer=observer, checkpoint=checkpoint, flush_hook=flush_hook)
         self._scalar: list[OpRecord] = []
         # Scalar records columnarise in blocks; never hold more than a
         # chunk's worth (and keep tiny-budget tests exact).
         self._scalar_block = min(4096, self._writer.rows_per_chunk)
+
+    @classmethod
+    def _from_writer(cls, writer: StreamWriter,
+                     memory_budget_bytes: int) -> "StreamFileSink":
+        """Wrap an already-open writer (the resume path)."""
+        sink = cls.__new__(cls)
+        sink.memory_budget_bytes = int(memory_budget_bytes)
+        sink._writer = writer
+        sink._scalar = []
+        sink._scalar_block = min(4096, writer.rows_per_chunk)
+        return sink
 
     @property
     def path(self) -> str:
@@ -649,6 +844,11 @@ class StreamFileSink:
         """Flush everything and finalise the artifact."""
         self._drain_scalar()
         self._writer.close()
+
+    def abort(self) -> None:
+        """Close the file without a footer (see StreamWriter.abort)."""
+        self._scalar = []
+        self._writer.abort()
 
     def __enter__(self) -> "StreamFileSink":
         return self
@@ -732,43 +932,13 @@ class StreamReader:
         return raw
 
     def _read_header(self) -> None:
-        magic = self._stream.read(len(MAGIC))
-        if magic != MAGIC:
-            raise StreamFormatError(
-                f"{self.path!r} is not an op-stream file (bad magic)"
-            )
-        (version,) = struct.unpack("<H", self._must_read(2, "version"))
-        if version > FORMAT_VERSION:
-            raise StreamFormatError(
-                f"stream format version {version} is newer than this "
-                f"reader (supports <= {FORMAT_VERSION})"
-            )
+        version, header, _ = _parse_header(self._stream, self._size,
+                                           self.path)
         self.version = version
-        length, crc = struct.unpack(
-            _HEAD_FMT, self._must_read(struct.calcsize(_HEAD_FMT), "header"))
-        raw = self._must_read(length, "header JSON")
-        if zlib.crc32(raw) != crc:
-            raise StreamFormatError("header failed its checksum")
-        try:
-            header = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, ValueError) as exc:
-            raise StreamFormatError(f"corrupt header JSON: {exc}") from None
         self.header = header
-        if int(header.get("version", -1)) != version:
-            raise StreamFormatError(
-                f"header version {header.get('version')!r} disagrees with "
-                f"the file's version field {version} (corrupt header?)"
-            )
         self.rows_per_chunk = int(header["rows_per_chunk"])
         self.metadata = dict(header.get("metadata", {}))
         self.kinds = tuple(header.get("kinds", ()))
-        if self.kinds != OP_KIND_NAMES:
-            raise StreamFormatError(
-                "stream file kind table does not match this build: "
-                f"{self.kinds!r}"
-            )
-        if [tuple(c) for c in header.get("columns", [])] != list(_COLUMNS):
-            raise StreamFormatError("stream file column schema mismatch")
 
     def _read_footer(self) -> None:
         self._stream.seek(0, os.SEEK_END)
@@ -1113,3 +1283,424 @@ def merge_stream_files(output: str, inputs: Iterable[str],
     finally:
         for reader in readers:
             reader.close()
+
+
+# ---------------------------------------------------------------------------
+# Crash salvage, resume, and verification
+# ---------------------------------------------------------------------------
+
+
+def _entry_from_chunk(offset: int, batch: OpBatch,
+                      sessions: list) -> dict:
+    """A writer-style index entry rebuilt from a decoded chunk."""
+    n = len(batch)
+    return {
+        "offset": offset,
+        "rows": n,
+        "sessions": len(sessions),
+        "user_lo": int(batch.user_ids.min()) if n else None,
+        "user_hi": int(batch.user_ids.max()) if n else None,
+        "start_lo": float(batch.start_us.min()) if n else None,
+        "start_hi": float(batch.start_us.max()) if n else None,
+    }
+
+
+def _sequential_scan(stream, size: int, data_start: int):
+    """Walk chunk frames forward from ``data_start``, CRC-checking each.
+
+    Returns ``(entries, data_end, error)``: the index entries of every
+    intact chunk frame before the first problem, the offset just past
+    the last of them, and a description of what stopped the walk (None
+    when it ended cleanly at a footer frame or at end of data).
+    """
+    frame_head = struct.calcsize(_FRAME_FMT)
+    entries: list[dict] = []
+    pos = data_start
+    while True:
+        if pos == size:
+            return entries, pos, None
+        stream.seek(pos)
+        head = stream.read(frame_head)
+        if len(head) < frame_head:
+            return entries, pos, f"truncated frame header at offset {pos}"
+        kind, length, crc = struct.unpack(_FRAME_FMT, head)
+        if kind == _FRAME_FOOTER:
+            return entries, pos, None
+        if kind != _FRAME_CHUNK:
+            return entries, pos, f"unknown frame type {kind!r} at offset {pos}"
+        if pos + frame_head + length > size:
+            return entries, pos, f"truncated chunk payload at offset {pos}"
+        payload = stream.read(length)
+        if len(payload) != length:
+            return entries, pos, f"truncated chunk payload at offset {pos}"
+        if zlib.crc32(payload) != crc:
+            return (entries, pos,
+                    f"chunk {len(entries)} failed its checksum "
+                    f"(offset {pos})")
+        try:
+            batch, sessions = _decode_chunk(
+                payload, f"chunk {len(entries)}")
+        except StreamFormatError as exc:
+            return entries, pos, str(exc)
+        entries.append(_entry_from_chunk(pos, batch, sessions))
+        pos += frame_head + length
+
+
+@dataclass
+class ReplaySummary:
+    """What :meth:`SalvagedStream.replay` fed into the sink.
+
+    ``last_user`` (with its op-row and session counts inside the
+    salvaged prefix) is the resume boundary: in a user-contiguous
+    artifact every event the crash lost belongs to that user or later
+    ones, because chunk *i* is only flushed once a row of chunk *i+1*
+    has arrived — the last salvaged user's first row postdates every
+    earlier user's entire event stream.
+    """
+
+    rows: int = 0
+    sessions: int = 0
+    max_end_us: float = 0.0
+    last_user: int | None = None
+    last_user_rows: int = 0
+    last_user_sessions: int = 0
+
+
+@dataclass
+class SalvagedStream:
+    """The verified, reusable prefix of a (possibly crashed) artifact.
+
+    ``complete`` means the footer was intact and the whole file is
+    reusable; otherwise ``index`` lists the CRC-verified *full* chunks
+    (exactly ``rows_per_chunk`` rows each — a short tail chunk is
+    dropped because resumed frames must land on the same deterministic
+    boundaries) and ``data_end`` is the byte offset a resumed writer
+    truncates to.
+    """
+
+    path: str
+    version: int
+    rows_per_chunk: int
+    metadata: dict
+    complete: bool
+    index: list[dict]
+    rows: int
+    sessions: int
+    data_end: int
+
+    def _iter_chunks(self):
+        frame_head = struct.calcsize(_FRAME_FMT)
+        with open(self.path, "rb") as stream:
+            for i, entry in enumerate(self.index):
+                stream.seek(int(entry["offset"]))
+                head = stream.read(frame_head)
+                if len(head) < frame_head:
+                    raise StreamFormatError(
+                        f"{self.path}: salvaged chunk {i} vanished"
+                    )
+                kind, length, crc = struct.unpack(_FRAME_FMT, head)
+                payload = stream.read(length)
+                if (kind != _FRAME_CHUNK or len(payload) != length
+                        or zlib.crc32(payload) != crc):
+                    raise StreamFormatError(
+                        f"{self.path}: salvaged chunk {i} failed "
+                        "re-verification"
+                    )
+                yield _decode_chunk(payload, f"salvaged chunk {i}")
+
+    def replay(self, sink) -> ReplaySummary:
+        """Re-emit the salvaged prefix into ``sink`` (see StreamReader).
+
+        Ops and session records interleave at their recorded positions,
+        so an order-invariant accumulator (the exact-integer tally)
+        ends up exactly as if it had seen the original events.  The
+        returned summary carries the resume boundary.
+        """
+        record_batch = getattr(sink, "record_batch", None)
+        out = ReplaySummary()
+        row_start = 0
+
+        def emit(piece: OpBatch) -> None:
+            if not len(piece):
+                return
+            if record_batch is not None:
+                record_batch(piece)
+            else:
+                for op in piece.to_records():
+                    sink.record_op(op)
+            end = float((piece.start_us + piece.response_us).max())
+            if end > out.max_end_us:
+                out.max_end_us = end
+            last = int(piece.user_ids[-1])
+            if out.last_user is None or last > out.last_user:
+                out.last_user = last
+                out.last_user_rows = 0
+                out.last_user_sessions = 0
+            out.last_user_rows += int((piece.user_ids == last).sum())
+
+        for batch, sessions in self._iter_chunks():
+            cursor = 0
+            for position, record in sessions:
+                local = min(max(position - row_start, 0), len(batch))
+                if local > cursor:
+                    emit(batch.select(slice(cursor, local)))
+                    cursor = local
+                sink.record_session(record)
+                out.sessions += 1
+                uid = int(record.user_id)
+                if out.last_user is None or uid > out.last_user:
+                    out.last_user = uid
+                    out.last_user_rows = 0
+                    out.last_user_sessions = 0
+                if uid == out.last_user:
+                    out.last_user_sessions += 1
+                if record.end_us > out.max_end_us:
+                    out.max_end_us = float(record.end_us)
+            if cursor < len(batch):
+                emit(batch.select(slice(cursor, len(batch))))
+            row_start += len(batch)
+            out.rows += len(batch)
+        return out
+
+
+def salvage_stream(path: str) -> SalvagedStream:
+    """Find the intact, resumable prefix of an artifact at ``path``.
+
+    A file with a valid footer is ``complete`` (fully reusable).
+    Otherwise the checkpoint sidecar, when present and consistent, names
+    the candidate chunks and only their CRCs are re-verified; a missing
+    or disagreeing sidecar degrades to a sequential CRC walk.  Either
+    way only *verified full* chunks survive into the result — anything
+    doubtful is treated as lost and will be regenerated.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError as exc:
+        raise StreamFormatError(f"cannot stat stream file: {exc}") from None
+    try:
+        with StreamReader(path) as reader:
+            entries = [
+                {
+                    "offset": info.offset,
+                    "rows": info.rows,
+                    "sessions": info.sessions,
+                    "user_lo": info.user_lo,
+                    "user_hi": info.user_hi,
+                    "start_lo": info.start_lo,
+                    "start_hi": info.start_hi,
+                }
+                for info in reader.chunk_index
+            ]
+            return SalvagedStream(
+                path=path, version=reader.version,
+                rows_per_chunk=reader.rows_per_chunk,
+                metadata=dict(reader.metadata), complete=True,
+                index=entries, rows=reader.total_rows,
+                sessions=reader.total_sessions,
+                data_end=reader._footer_offset,
+            )
+    except StreamFormatError:
+        pass
+    with open(path, "rb") as stream:
+        version, header, data_start = _parse_header(stream, size, path)
+        rows_per_chunk = int(header["rows_per_chunk"])
+        entries = _salvage_via_sidecar(stream, size, path, rows_per_chunk)
+        if entries is None:
+            entries, _, _ = _sequential_scan(stream, size, data_start)
+    frame_head = struct.calcsize(_FRAME_FMT)
+    # Only full chunks resume on the original boundaries; a short tail
+    # chunk (written by a crashed close()) is dropped and regenerated.
+    while entries and int(entries[-1]["rows"]) != rows_per_chunk:
+        entries.pop()
+    data_end = data_start
+    if entries:
+        with open(path, "rb") as stream:
+            stream.seek(int(entries[-1]["offset"]))
+            head = stream.read(frame_head)
+            _, length, _ = struct.unpack(_FRAME_FMT, head)
+            data_end = int(entries[-1]["offset"]) + frame_head + length
+    return SalvagedStream(
+        path=path, version=version, rows_per_chunk=rows_per_chunk,
+        metadata=dict(header.get("metadata", {})), complete=False,
+        index=entries, rows=sum(int(e["rows"]) for e in entries),
+        sessions=sum(int(e["sessions"]) for e in entries),
+        data_end=data_end,
+    )
+
+
+def _salvage_via_sidecar(stream, size: int, path: str,
+                         rows_per_chunk: int) -> "list[dict] | None":
+    """Re-verify the chunks a checkpoint sidecar claims, or None."""
+    sidecar = path + CHECKPOINT_SUFFIX
+    try:
+        with open(sidecar, "r", encoding="utf-8") as fh:
+            state = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    try:
+        if (state["format"] != CHECKPOINT_FORMAT
+                or int(state["version"]) > CHECKPOINT_VERSION
+                or int(state["rows_per_chunk"]) != rows_per_chunk
+                or int(state["data_end"]) > size):
+            return None
+        claimed = list(state["index"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    frame_head = struct.calcsize(_FRAME_FMT)
+    entries: list[dict] = []
+    expected_offset = None
+    for entry in claimed:
+        try:
+            offset = int(entry["offset"])
+        except (KeyError, TypeError, ValueError):
+            break
+        # Chunk frames are contiguous; a sidecar claiming an entry that
+        # does not start where the previous frame ended is lying.
+        if expected_offset is not None and offset != expected_offset:
+            break
+        stream.seek(offset)
+        head = stream.read(frame_head)
+        if len(head) < frame_head:
+            break
+        kind, length, crc = struct.unpack(_FRAME_FMT, head)
+        if kind != _FRAME_CHUNK or offset + frame_head + length > size:
+            break
+        payload = stream.read(length)
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            break
+        entries.append(dict(entry))
+        expected_offset = offset + frame_head + length
+    return entries
+
+
+def resume_stream_sink(path: str,
+                       memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+                       metadata: dict | None = None, observer=None,
+                       checkpoint: bool = True, flush_hook=None):
+    """A :class:`StreamFileSink` continuing whatever survives at ``path``.
+
+    Returns ``(sink, salvaged)``:
+
+    * no usable prefix (missing file, foreign budget, nothing verified)
+      — a fresh sink overwriting ``path``, ``salvaged`` None;
+    * a crashed prefix — a sink resuming after the last intact chunk,
+      with ``salvaged`` describing what to replay and skip;
+    * an already-complete artifact — ``sink`` None, ``salvaged``
+      carries the full file.
+    """
+    rows_per_chunk = rows_per_chunk_for(memory_budget_bytes)
+    salvaged = None
+    if os.path.exists(path):
+        try:
+            salvaged = salvage_stream(path)
+        except StreamFormatError:
+            salvaged = None
+        if salvaged is not None and (
+                salvaged.rows_per_chunk != rows_per_chunk
+                or (not salvaged.complete and not salvaged.index)):
+            salvaged = None
+    if salvaged is None:
+        sink = StreamFileSink(
+            path, memory_budget_bytes, metadata=metadata, observer=observer,
+            checkpoint=checkpoint, flush_hook=flush_hook)
+        return sink, None
+    if salvaged.complete:
+        return None, salvaged
+    writer = StreamWriter.resume(
+        salvaged, metadata=metadata, observer=observer,
+        checkpoint=checkpoint, flush_hook=flush_hook)
+    return StreamFileSink._from_writer(writer, memory_budget_bytes), salvaged
+
+
+@dataclass
+class StreamVerifyReport:
+    """Outcome of a full-file CRC walk (the ``stream verify`` verb)."""
+
+    path: str
+    ok: bool
+    complete: bool
+    chunks: int
+    chunks_ok: int
+    rows: int
+    sessions: int
+    file_bytes: int
+    errors: list[str]
+
+    def as_kv(self) -> dict:
+        """Human-readable summary for the CLI."""
+        return {
+            "path": self.path,
+            "verdict": "ok" if self.ok else "CORRUPT",
+            "complete": self.complete,
+            "chunks ok": f"{self.chunks_ok}/{self.chunks}",
+            "op rows": self.rows,
+            "sessions": self.sessions,
+            "file bytes": self.file_bytes,
+            "errors": len(self.errors),
+        }
+
+
+def verify_stream(path: str) -> StreamVerifyReport:
+    """Exhaustively CRC-check and decode every frame of an artifact.
+
+    Unlike lazy reads — which only fault on the chunks a consumer
+    happens to touch — this walks header, every chunk payload (decoded,
+    not just checksummed), the footer, and the tail, and reports every
+    problem found.  ``ok`` requires a complete file with zero errors.
+    """
+    errors: list[str] = []
+    try:
+        size = os.path.getsize(path)
+    except OSError as exc:
+        return StreamVerifyReport(path=path, ok=False, complete=False,
+                                  chunks=0, chunks_ok=0, rows=0, sessions=0,
+                                  file_bytes=0, errors=[str(exc)])
+    try:
+        with open(path, "rb") as stream:
+            _, _, data_start = _parse_header(stream, size, path)
+    except (OSError, StreamFormatError) as exc:
+        return StreamVerifyReport(path=path, ok=False, complete=False,
+                                  chunks=0, chunks_ok=0, rows=0, sessions=0,
+                                  file_bytes=size, errors=[f"header: {exc}"])
+    reader = None
+    try:
+        reader = StreamReader(path)
+    except StreamFormatError as exc:
+        errors.append(f"footer: {exc}")
+    if reader is not None:
+        try:
+            chunks = len(reader.chunk_index)
+            chunks_ok = 0
+            sessions_seen = 0
+            for info in reader.chunk_index:
+                try:
+                    chunk = reader.read_chunk(info.index)
+                except StreamFormatError as exc:
+                    errors.append(f"chunk {info.index}: {exc}")
+                else:
+                    chunks_ok += 1
+                    sessions_seen += len(chunk.sessions)
+            if sessions_seen != reader.total_sessions and not errors:
+                errors.append(
+                    f"footer: session total {reader.total_sessions} != "
+                    f"{sessions_seen} found in chunks"
+                )
+            return StreamVerifyReport(
+                path=path, ok=not errors, complete=True, chunks=chunks,
+                chunks_ok=chunks_ok, rows=reader.total_rows,
+                sessions=reader.total_sessions, file_bytes=size,
+                errors=errors,
+            )
+        finally:
+            reader.close()
+    with open(path, "rb") as stream:
+        entries, _, scan_error = _sequential_scan(stream, size, data_start)
+    if scan_error is not None:
+        errors.append(scan_error)
+    return StreamVerifyReport(
+        path=path, ok=False, complete=False, chunks=len(entries),
+        chunks_ok=len(entries),
+        rows=sum(int(e["rows"]) for e in entries),
+        sessions=sum(int(e["sessions"]) for e in entries),
+        file_bytes=size, errors=errors,
+    )

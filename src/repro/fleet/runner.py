@@ -24,48 +24,111 @@ Scenario resolution happens **once, in the coordinator** — so custom
 scenarios registered by the calling script work under any
 multiprocessing start method, including spawn, where workers re-import
 a fresh registry.
+
+Fault tolerance
+---------------
+
+Shard execution is supervised (see :mod:`repro.fleet.supervisor`): a
+worker that dies, hangs past ``shard_timeout_s``, raises, or hands back
+a corrupt stream artifact fails only that shard's *attempt*.  The shard
+is retried with exponential backoff up to ``max_retries`` times — and
+because shard generation is a pure function of (spec, seed, shard
+range), the retry reproduces the lost bytes exactly.  A shard that
+exhausts its retries is quarantined: the rest of the fleet completes,
+the manifest records the casualties, and ``run_fleet`` raises
+:class:`FleetPartialError` (or returns the partial result when
+``allow_partial`` is set).
+
+Stream-writing runs keep every per-shard temp under a run-scoped
+directory (``<out_stream>.run``) that is swept on *every* exit path;
+the final artifact appears at ``out_stream`` only through an atomic
+rename, never half-written.  On the engine-free backends the temps
+checkpoint at each chunk flush, so a killed run can be continued with
+``resume_fleet_config`` / ``fleet run --resume``: completed chunks are
+CRC-verified and reused, and only the tail is regenerated — the resumed
+artifact is bit-for-bit identical to an uninterrupted run's.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
-import queue as queue_mod
+import shutil
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.arrivals import (
     DEFAULT_ARRIVALS,
     HOUR_US,
     ArrivalError,
     ArrivalModel,
+    arrival_model_from_jsonable,
+    arrival_model_to_jsonable,
     get_profile,
 )
 from ..core.generator import FAST_BACKENDS, RUN_BACKENDS, WorkloadGenerator
 from ..core.oplog import UsageLog
 from ..core.spec import SpecError, WorkloadSpec
+from ..core.specjson import spec_from_jsonable, spec_to_jsonable
 from ..core.streamfile import (
+    CHECKPOINT_SUFFIX,
     DEFAULT_MEMORY_BUDGET,
     StreamFileSink,
     TeeSink,
     merge_stream_files,
+    resume_stream_sink,
+    verify_stream,
 )
 from ..core.synthesis import PhaseModel
+from ..faults import FaultSpec, build_injector
 from ..obs import (
     ProgressMeter,
     QueueProgressSender,
     RunObserver,
     build_manifest,
     merge_snapshots,
+    spec_fingerprint,
     write_manifest,
 )
 from ..sim import RunningStats
 from .merge import ShardAccumulator, WorkloadTally
 from .sharding import ShardPlan, plan_shards
+from .supervisor import ShardFailure, ShardSupervisor
 
-__all__ = ["FleetConfig", "ShardOutcome", "FleetResult", "run_fleet"]
+__all__ = [
+    "FleetConfig",
+    "FleetPartialError",
+    "ShardOutcome",
+    "FleetResult",
+    "run_fleet",
+    "resume_fleet_config",
+]
 
 _BACKENDS = RUN_BACKENDS
+
+RUN_RECORD_NAME = "fleet-run.json"
+"""Resume record inside a run directory: the resolved run, as data."""
+
+RUN_RECORD_FORMAT = "repro.fleet-run"
+RUN_RECORD_VERSION = 1
+
+
+class FleetPartialError(RuntimeError):
+    """The fleet finished, but one or more shards were quarantined.
+
+    Carries the partial :class:`FleetResult` (completed shards merged,
+    manifest written) so callers can inspect what *did* finish.
+    """
+
+    def __init__(self, result: "FleetResult"):
+        self.result = result
+        names = ", ".join(str(s) for s in result.quarantined)
+        super().__init__(
+            f"fleet run is partial: shard(s) {names} quarantined after "
+            f"{result.config.max_retries} retries "
+            "(pass allow_partial=True / --allow-partial to accept)"
+        )
 
 
 @dataclass(frozen=True)
@@ -97,6 +160,18 @@ class FleetConfig:
     :mod:`repro.obs` observer, which never touches RNG streams or
     recorded bytes — enabling them cannot change any artifact or tally.
 
+    Robustness: failed shard attempts retry up to ``max_retries`` times
+    with ``retry_backoff_s`` exponential backoff; ``shard_timeout_s``
+    kills and retries a shard whose heartbeats go silent that long;
+    shards still failing are quarantined and surface through
+    :class:`FleetPartialError` unless ``allow_partial`` accepts partial
+    results.  ``faults`` arms deterministic failures
+    (:class:`~repro.faults.FaultSpec`) for tests and chaos runs;
+    ``verify_shard_streams`` CRC-walks each shard artifact in the
+    coordinator (default: only when faults are armed).  ``resume_dir``
+    continues a killed run from its run directory (``keep_run_dir``
+    preserves that directory when a run fails so it *can* be resumed).
+
     Caveat: ``time_limit_us`` truncates each shard at its *own* simulated
     clock, and simulated time depends on per-site queueing — so with a
     time limit the merged aggregate is **not** shard-count-invariant.
@@ -125,6 +200,14 @@ class FleetConfig:
     stream_budget_bytes: int | None = None
     metrics_out: str | None = None
     progress: bool = False
+    max_retries: int = 2
+    retry_backoff_s: float = 0.25
+    shard_timeout_s: float | None = None
+    faults: tuple = ()
+    resume_dir: str | None = None
+    allow_partial: bool = False
+    keep_run_dir: bool = False
+    verify_shard_streams: bool | None = None
 
     def __post_init__(self):
         if (self.scenario is None) == (self.spec is None):
@@ -173,6 +256,43 @@ class FleetConfig:
                 "user-contiguous artifacts, and the DES interleaves users "
                 "on a shared clock"
             )
+        if self.max_retries < 0:
+            raise SpecError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_s < 0:
+            raise SpecError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.shard_timeout_s is not None and not self.shard_timeout_s > 0:
+            raise SpecError(
+                f"shard_timeout_s must be > 0, got {self.shard_timeout_s}"
+            )
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, FaultSpec):
+                raise SpecError(
+                    f"faults entries must be FaultSpec, got {fault!r}"
+                )
+            if fault.shard >= self.shards:
+                raise SpecError(
+                    f"fault {fault.describe()!r} targets shard "
+                    f"{fault.shard}, but the run has {self.shards} shard(s)"
+                )
+            if fault.needs_stream and self.out_stream is None:
+                raise SpecError(
+                    f"fault {fault.describe()!r} needs out_stream: it "
+                    "fires in the stream spill/artifact path"
+                )
+        if self.resume_dir is not None:
+            if self.out_stream is None:
+                raise SpecError("resume_dir needs out_stream to be set")
+            if self.backend not in FAST_BACKENDS:
+                raise SpecError(
+                    "resume needs an engine-free backend "
+                    f"({FAST_BACKENDS}): checkpointed chunks are only "
+                    "reusable when users are generated contiguously"
+                )
 
     @property
     def arrivals_enabled(self) -> bool:
@@ -189,6 +309,13 @@ class FleetConfig:
     def root_seed(self) -> int:
         """Root seed (from the spec when one is given)."""
         return self.spec.seed if self.spec is not None else self.seed
+
+    @property
+    def run_dir(self) -> str | None:
+        """Run-scoped temp directory for stream runs (else None)."""
+        if self.out_stream is None:
+            return None
+        return self.out_stream + ".run"
 
     def effective_workers(self) -> int:
         """Worker process count: ``workers`` capped by shards and cores."""
@@ -210,6 +337,9 @@ class ShardOutcome:
     wall_s: float
     log: UsageLog | None = None
     metrics: dict | None = None
+    attempt: int = 1
+    reused_chunks: int = 0
+    reused_rows: int = 0
 
 
 @dataclass
@@ -226,6 +356,18 @@ class FleetResult:
     out_stream: str | None = None
     metrics: dict | None = None
     metrics_out: str | None = None
+    quarantined: tuple[int, ...] = ()
+    failures: tuple[ShardFailure, ...] = ()
+    retries: int = 0
+    timeouts: int = 0
+    reused_chunks: int = 0
+    reused_rows: int = 0
+    resumed: bool = False
+
+    @property
+    def partial(self) -> bool:
+        """Whether any shard was quarantined (result covers the rest)."""
+        return bool(self.quarantined)
 
     @property
     def simulated_us(self) -> float:
@@ -274,6 +416,11 @@ class _ShardTask:
     stream_metadata: "dict | None" = None
     metrics: bool = False
     progress: bool = False
+    attempt: int = 1
+    resume: bool = False
+    checkpoint: bool = False
+    heartbeat: bool = False
+    faults: tuple = ()
 
 
 def _resolve_arrivals(config: FleetConfig,
@@ -349,6 +496,49 @@ class _MeterQueue:
         self.meter.update_shard(shard, users, ops)
 
 
+class _SkipSink:
+    """Drop the first N op rows / M session records, forward the rest.
+
+    The resume path regenerates the boundary user from scratch but has
+    that user's prefix already salvaged on disk — the regenerated
+    stream's first ``skip_rows`` rows and ``skip_sessions`` session
+    records are exactly that prefix (generation is deterministic), so
+    dropping them makes the continued stream pick up at the crash point.
+    """
+
+    def __init__(self, inner, skip_rows: int, skip_sessions: int):
+        self.inner = inner
+        self._rows = int(skip_rows)
+        self._sessions = int(skip_sessions)
+        self._inner_batch = getattr(inner, "record_batch", None)
+
+    def record_op(self, record) -> None:
+        if self._rows > 0:
+            self._rows -= 1
+            return
+        self.inner.record_op(record)
+
+    def record_batch(self, batch) -> None:
+        if self._rows > 0:
+            n = len(batch)
+            if n <= self._rows:
+                self._rows -= n
+                return
+            batch = batch.select(slice(self._rows, n))
+            self._rows = 0
+        if self._inner_batch is not None:
+            self._inner_batch(batch)
+        else:
+            for record in batch.to_records():
+                self.inner.record_op(record)
+
+    def record_session(self, record) -> None:
+        if self._sessions > 0:
+            self._sessions -= 1
+            return
+        self.inner.record_session(record)
+
+
 _GENERATOR_CACHE: "list[tuple[WorkloadSpec, WorkloadGenerator]]" = []
 """Per-process generator reuse: at most one ``(spec, generator)`` pair.
 
@@ -386,44 +576,94 @@ def _run_shard(task: _ShardTask) -> ShardOutcome:
     """Execute one shard (runs inside a worker process or in-process)."""
     plan = task.plan
     started = time.perf_counter()
+    injector = build_injector(task.faults, plan.shard_index, task.attempt)
     observer = None
-    if task.metrics or task.progress:
+    if task.metrics or task.progress or task.heartbeat:
         sender = None
-        if task.progress and _PROGRESS_QUEUE is not None:
+        if ((task.progress or task.heartbeat)
+                and _PROGRESS_QUEUE is not None):
             sender = QueueProgressSender(plan.shard_index, _PROGRESS_QUEUE)
         observer = RunObserver(progress=sender)
     sink = ShardAccumulator(collect_ops=task.collect_ops,
                             window_us=task.window_us)
     log_sink = sink
     stream_sink = None
+    salvaged = None
+    flush_hook = injector.spill_hook if injector is not None else None
     if task.stream_path is not None:
         # Spill this shard's op stream to its own artifact file; the
         # coordinator merges shard files into the run-level artifact.
         # Metadata is run-level (identical across shards) so the merged
         # header is bit-identical to a 1-shard run's.
-        stream_sink = StreamFileSink(
-            task.stream_path,
-            memory_budget_bytes=task.stream_budget_bytes,
-            metadata=task.stream_metadata,
-            observer=observer,
-        )
-        log_sink = TeeSink(sink, stream_sink)
-    generator = _shard_generator(task.spec, task.backend)
-    try:
-        result = generator.run_simulated(
-            sessions_per_user=task.sessions_per_user,
-            backend=task.backend,
-            access_pattern=task.access_pattern,
-            phase_model_factory=PhaseModel if task.use_phase_model else None,
-            time_limit_us=task.time_limit_us,
-            user_ids=plan.user_ids,
-            log=log_sink,
-            arrivals=task.arrival_model,
-            observer=observer,
-        )
-    finally:
+        if task.resume:
+            stream_sink, salvaged = resume_stream_sink(
+                task.stream_path,
+                memory_budget_bytes=task.stream_budget_bytes,
+                metadata=task.stream_metadata,
+                observer=observer,
+                checkpoint=task.checkpoint,
+                flush_hook=flush_hook,
+            )
+        else:
+            stream_sink = StreamFileSink(
+                task.stream_path,
+                memory_budget_bytes=task.stream_budget_bytes,
+                metadata=task.stream_metadata,
+                observer=observer,
+                checkpoint=task.checkpoint,
+                flush_hook=flush_hook,
+            )
         if stream_sink is not None:
-            stream_sink.close()
+            log_sink = TeeSink(sink, stream_sink)
+    prefix = None
+    if salvaged is not None:
+        # The salvaged chunks are already on disk — replay them into the
+        # accumulator only.  The tally is an order-invariant exact sum,
+        # so feeding the prefix first and the regenerated tail second
+        # reproduces the uninterrupted aggregate exactly.
+        prefix = salvaged.replay(sink)
+    simulated_us = prefix.max_end_us if prefix is not None else 0.0
+    if task.stream_path is not None and task.resume and stream_sink is None:
+        # The artifact was already complete: nothing to regenerate.
+        pass
+    else:
+        remaining = plan.user_ids
+        if prefix is not None and prefix.last_user is not None:
+            # Everything the crash lost belongs to the last salvaged
+            # user or later (user-contiguous artifact + flush rule), so
+            # regenerate from that boundary user and skip its salvaged
+            # prefix.
+            remaining = tuple(u for u in plan.user_ids
+                              if u >= prefix.last_user)
+            log_sink = _SkipSink(log_sink, prefix.last_user_rows,
+                                 prefix.last_user_sessions)
+        if injector is not None:
+            log_sink = injector.wrap_sink(log_sink)
+        generator = _shard_generator(task.spec, task.backend)
+        try:
+            result = generator.run_simulated(
+                sessions_per_user=task.sessions_per_user,
+                backend=task.backend,
+                access_pattern=task.access_pattern,
+                phase_model_factory=(PhaseModel if task.use_phase_model
+                                     else None),
+                time_limit_us=task.time_limit_us,
+                user_ids=remaining,
+                log=log_sink,
+                arrivals=task.arrival_model,
+                observer=observer,
+            )
+            if stream_sink is not None:
+                stream_sink.close()
+        except BaseException:
+            if stream_sink is not None:
+                # Crash semantics: leave whatever chunks are durable for
+                # salvage, but never write a footer over a partial run.
+                stream_sink.abort()
+            raise
+        simulated_us = max(simulated_us, result.simulated_duration_us)
+    if injector is not None and task.stream_path is not None:
+        injector.corrupt_artifact(task.stream_path)
     metrics = None
     if observer is not None:
         observer.metrics.gauge("shard.wall_s").set(
@@ -441,10 +681,13 @@ def _run_shard(task: _ShardTask) -> ShardOutcome:
         user_ids=plan.user_ids,
         tally=sink.tally,
         response_us=sink.response_us,
-        simulated_us=result.simulated_duration_us,
+        simulated_us=simulated_us,
         wall_s=time.perf_counter() - started,
         log=sink.log,
         metrics=metrics,
+        attempt=task.attempt,
+        reused_chunks=len(salvaged.index) if salvaged is not None else 0,
+        reused_rows=salvaged.rows if salvaged is not None else 0,
     )
 
 
@@ -461,53 +704,239 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+class _ShardCorrupt(RuntimeError):
+    """Inline-path marker: a shard's artifact failed verification."""
+
+
+def _verify_outcome(task: _ShardTask, outcome) -> str | None:
+    """Coordinator-side acceptance check: CRC-walk the shard artifact."""
+    del outcome
+    if task.stream_path is None or not os.path.exists(task.stream_path):
+        return None
+    report = verify_stream(task.stream_path)
+    if report.ok:
+        return None
+    # A condemned artifact must not survive: it carries a footer, so a
+    # resumed retry would salvage it as "complete" and re-serve the
+    # corruption instead of regenerating.
+    for stale in (task.stream_path,
+                  task.stream_path + CHECKPOINT_SUFFIX):
+        try:
+            os.unlink(stale)
+        except OSError:
+            pass
+    return "; ".join(report.errors[:3]) or "stream artifact corrupt"
+
+
+def _backoff_delay(backoff_s: float, attempt: int) -> float:
+    """Backoff before retry attempt ``attempt`` (2, 3, ...)."""
+    if attempt <= 1 or backoff_s <= 0.0:
+        return 0.0
+    return min(backoff_s * (2.0 ** (attempt - 2)), 30.0)
+
+
 def _run_shards_inline(tasks: "list[_ShardTask]",
-                       meter: "ProgressMeter | None"):
-    """Run every shard in this process, painting progress directly."""
+                       meter: "ProgressMeter | None", *,
+                       max_retries: int = 0, backoff_s: float = 0.0,
+                       retask=None, verify=None):
+    """Run every shard in this process, with the same retry semantics.
+
+    Covers the ``workers == 1`` path (including catchable injected
+    faults — ENOSPC, errors, bitflips); faults that kill or hang a
+    process route through the supervisor instead.  Returns the same
+    ``(outcomes, failures, quarantined, retries, recovery_s)`` shape.
+    """
     global _PROGRESS_QUEUE
-    if meter is None:
-        return [_run_shard(task) for task in tasks]
     previous = _PROGRESS_QUEUE
-    _PROGRESS_QUEUE = _MeterQueue(meter)
+    if meter is not None:
+        _PROGRESS_QUEUE = _MeterQueue(meter)
+    outcomes = []
+    failures: list[ShardFailure] = []
+    quarantined: list[int] = []
+    retries = 0
+    recovery_s = 0.0
     try:
-        return [_run_shard(task) for task in tasks]
+        for task in tasks:
+            shard = task.plan.shard_index
+            attempt = 1
+            while True:
+                current = retask(task, attempt) if retask is not None \
+                    else task
+                try:
+                    outcome = _run_shard(current)
+                    if verify is not None:
+                        detail = verify(current, outcome)
+                        if detail is not None:
+                            raise _ShardCorrupt(detail)
+                except Exception as exc:
+                    reason = ("corrupt" if isinstance(exc, _ShardCorrupt)
+                              else "error")
+                    failures.append(ShardFailure(
+                        shard_index=shard, attempt=attempt, reason=reason,
+                        detail=f"{type(exc).__name__}: {exc}"))
+                    if attempt > max_retries:
+                        quarantined.append(shard)
+                        break
+                    retries += 1
+                    delay = _backoff_delay(backoff_s, attempt + 1)
+                    recovery_s += delay
+                    if delay:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                outcomes.append(outcome)
+                break
     finally:
         _PROGRESS_QUEUE = previous
+    return outcomes, failures, quarantined, retries, recovery_s
 
 
-def _run_shards_pooled(tasks: "list[_ShardTask]", workers: int,
-                       meter: "ProgressMeter | None"):
-    """Run shards on a worker pool, draining progress while they go."""
-    ctx = _pool_context()
-    progress_queue = ctx.Queue() if meter is not None else None
-    initializer = _init_worker_progress if progress_queue is not None else None
-    initargs = (progress_queue,) if progress_queue is not None else ()
-    with ctx.Pool(processes=workers, initializer=initializer,
-                  initargs=initargs) as pool:
-        if meter is None:
-            return pool.map(_run_shard, tasks)
-        pending = pool.map_async(_run_shard, tasks)
-        while True:
-            done = pending.ready()
-            # Drain whatever the workers sent since the last pass, then
-            # block briefly on the queue so the poll loop is not a spin.
-            while True:
-                try:
-                    shard, users, ops, _fin = progress_queue.get(
-                        timeout=0.0 if done else 0.2)
-                except queue_mod.Empty:
-                    break
-                meter.update_shard(shard, users, ops)
-            if done:
-                return pending.get()
+# ---------------------------------------------------------------------------
+# Run records (checkpoint/resume)
+# ---------------------------------------------------------------------------
+
+
+def _build_run_record(config: FleetConfig, spec, pattern, phases, sessions,
+                      model, window_us, stream_budget,
+                      stream_metadata) -> dict:
+    """The resolved run as plain data — everything a resume must match."""
+    return {
+        "format": RUN_RECORD_FORMAT,
+        "version": RUN_RECORD_VERSION,
+        "spec": spec_to_jsonable(spec),
+        "spec_sha256": spec_fingerprint(spec),
+        "scenario": config.scenario,
+        "seed": config.root_seed,
+        "users": spec.n_users,
+        "shards": config.shards,
+        "backend": config.backend,
+        "access_pattern": pattern,
+        "use_phase_model": phases,
+        "sessions_per_user": sessions,
+        "arrival_model": (arrival_model_to_jsonable(model)
+                          if model is not None else None),
+        "window_us": window_us,
+        "collect_ops": config.collect_ops,
+        "time_limit_us": config.time_limit_us,
+        "out_stream": os.path.abspath(config.out_stream),
+        "stream_budget_bytes": stream_budget,
+        "stream_metadata": stream_metadata,
+    }
+
+
+def _load_run_record(run_dir: str) -> dict:
+    path = os.path.join(run_dir, RUN_RECORD_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SpecError(
+            f"cannot resume from {run_dir!r}: no readable run record "
+            f"({exc})"
+        ) from None
+    if record.get("format") != RUN_RECORD_FORMAT:
+        raise SpecError(
+            f"{path!r} is not a fleet run record "
+            f"(format {record.get('format')!r})"
+        )
+    if int(record.get("version", 0)) > RUN_RECORD_VERSION:
+        raise SpecError(
+            f"{path!r} was written by a newer version "
+            f"({record.get('version')})"
+        )
+    return record
+
+
+def _validate_resume(record: dict, config: FleetConfig, spec, pattern,
+                     phases, sessions, model, window_us,
+                     stream_budget) -> None:
+    """Resuming must describe byte-for-byte the run that was recorded."""
+    expected = {
+        "spec_sha256": spec_fingerprint(spec),
+        "seed": config.root_seed,
+        "shards": config.shards,
+        "backend": config.backend,
+        "access_pattern": pattern,
+        "use_phase_model": phases,
+        "sessions_per_user": sessions,
+        "arrival_model": (arrival_model_to_jsonable(model)
+                          if model is not None else None),
+        "window_us": window_us,
+        "time_limit_us": config.time_limit_us,
+        "stream_budget_bytes": stream_budget,
+    }
+    for key, want in expected.items():
+        have = record.get(key)
+        if have != want:
+            raise SpecError(
+                f"cannot resume: recorded {key} {have!r} does not match "
+                f"this config's {want!r} — a resumed run must regenerate "
+                "the exact same bytes"
+            )
+
+
+def resume_fleet_config(run_dir: str, *, workers: int | None = None,
+                        progress: bool = False,
+                        metrics_out: str | None = None,
+                        max_retries: int = 2,
+                        retry_backoff_s: float = 0.25,
+                        shard_timeout_s: float | None = None,
+                        allow_partial: bool = False,
+                        keep_run_dir: bool = True,
+                        faults: tuple = ()) -> FleetConfig:
+    """Rebuild the :class:`FleetConfig` for ``fleet run --resume <dir>``.
+
+    Everything that shapes the artifact's bytes (spec, seed, shards,
+    backend, budget, execution options) comes from the run record and
+    cannot be overridden; only mechanical knobs (workers, progress,
+    retry policy, output of the manifest) are parameters.
+    ``keep_run_dir`` defaults to True so a resume that fails again can
+    itself be resumed.
+    """
+    record = _load_run_record(run_dir)
+    spec = spec_from_jsonable(record["spec"])
+    model = (arrival_model_from_jsonable(record["arrival_model"])
+             if record.get("arrival_model") is not None else None)
+    return FleetConfig(
+        spec=spec,
+        shards=int(record["shards"]),
+        workers=workers,
+        sessions_per_user=int(record["sessions_per_user"]),
+        backend=record["backend"],
+        collect_ops=bool(record.get("collect_ops", False)),
+        time_limit_us=record.get("time_limit_us"),
+        access_pattern=record["access_pattern"],
+        use_phase_model=bool(record["use_phase_model"]),
+        arrival_model=model,
+        window_us=record.get("window_us"),
+        out_stream=record["out_stream"],
+        stream_budget_bytes=int(record["stream_budget_bytes"]),
+        metrics_out=metrics_out,
+        progress=progress,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+        shard_timeout_s=shard_timeout_s,
+        faults=tuple(faults),
+        resume_dir=run_dir,
+        allow_partial=allow_partial,
+        keep_run_dir=keep_run_dir,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The fleet run
+# ---------------------------------------------------------------------------
 
 
 def run_fleet(config: FleetConfig) -> FleetResult:
-    """Run a sharded fleet and merge the per-shard results.
+    """Run a sharded fleet under supervision and merge per-shard results.
 
-    Raises :class:`~repro.core.spec.SpecError` for inconsistent configs
-    and :class:`~repro.scenarios.ScenarioError` for unknown scenario
-    names (resolved eagerly, before any worker starts).
+    Raises :class:`~repro.core.spec.SpecError` for inconsistent configs,
+    :class:`~repro.scenarios.ScenarioError` for unknown scenario names
+    (both resolved eagerly, before any worker starts), and
+    :class:`FleetPartialError` when shards were quarantined and
+    ``allow_partial`` is off — the partial result (with its manifest
+    already written) rides on the exception.
     """
     # Resolve the scenario/spec once, before spawning anything: workers
     # receive the built spec, never a registry name.
@@ -520,28 +949,59 @@ def run_fleet(config: FleetConfig) -> FleetResult:
             f"expected {config.users}"
         )
     plans = plan_shards(spec.n_users, config.shards, config.root_seed)
+    workers = config.effective_workers()
     stream_budget = config.stream_budget_bytes or DEFAULT_MEMORY_BUDGET
+    resumable = (config.out_stream is not None
+                 and config.backend in FAST_BACKENDS)
+    run_dir = config.run_dir
     shard_paths: list[str] = []
     stream_metadata = None
+    resuming = False
     if config.out_stream is not None:
-        # Run-level metadata only — anything shard-specific here would
-        # make the merged artifact's header differ from a 1-shard run's.
-        stream_metadata = {
-            "tool": "repro-fleet",
-            "scenario": config.scenario or "custom-spec",
-            "backend": config.backend,
-            "seed": config.root_seed,
-            "users": spec.n_users,
-            "sessions_per_user": sessions,
-            "access_pattern": pattern,
-            "phases": phases,
-            "arrivals": model is not None,
-        }
-        shard_paths = (
-            [config.out_stream] if config.shards == 1
-            else [f"{config.out_stream}.shard{plan.shard_index:04d}"
-                  for plan in plans]
-        )
+        if config.resume_dir is not None:
+            if (os.path.abspath(config.resume_dir)
+                    != os.path.abspath(run_dir)):
+                raise SpecError(
+                    f"resume_dir {config.resume_dir!r} does not belong to "
+                    f"out_stream {config.out_stream!r} (expected "
+                    f"{run_dir!r})"
+                )
+            record = _load_run_record(run_dir)
+            _validate_resume(record, config, spec, pattern, phases,
+                             sessions, model, window_us, stream_budget)
+            # The recorded metadata is authoritative: headers of resumed
+            # shard temps must match it byte for byte.
+            stream_metadata = record["stream_metadata"]
+            resuming = True
+        else:
+            # Run-level metadata only — anything shard-specific here
+            # would make the merged artifact's header differ from a
+            # 1-shard run's.
+            stream_metadata = {
+                "tool": "repro-fleet",
+                "scenario": config.scenario or "custom-spec",
+                "backend": config.backend,
+                "seed": config.root_seed,
+                "users": spec.n_users,
+                "sessions_per_user": sessions,
+                "access_pattern": pattern,
+                "phases": phases,
+                "arrivals": model is not None,
+            }
+            if os.path.isdir(run_dir):
+                shutil.rmtree(run_dir)  # stale leftovers from a dead run
+            os.makedirs(run_dir, exist_ok=True)
+            record = _build_run_record(config, spec, pattern, phases,
+                                       sessions, model, window_us,
+                                       stream_budget, stream_metadata)
+            with open(os.path.join(run_dir, RUN_RECORD_NAME), "w",
+                      encoding="utf-8") as fh:
+                json.dump(record, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        shard_paths = [
+            os.path.join(run_dir, f"shard{plan.shard_index:04d}.opstream")
+            for plan in plans
+        ]
     tasks = [
         _ShardTask(
             spec=spec,
@@ -560,10 +1020,13 @@ def run_fleet(config: FleetConfig) -> FleetResult:
             stream_metadata=stream_metadata,
             metrics=config.metrics_out is not None,
             progress=config.progress,
+            resume=resuming,
+            checkpoint=resumable,
+            heartbeat=config.shard_timeout_s is not None,
+            faults=config.faults,
         )
         for plan in plans
     ]
-    workers = config.effective_workers()
     meter = None
     if config.progress:
         meter = ProgressMeter(
@@ -571,39 +1034,121 @@ def run_fleet(config: FleetConfig) -> FleetResult:
             label=f"fleet[{config.backend}]",
         )
 
+    def _retask(task: _ShardTask, attempt: int) -> _ShardTask:
+        """Stamp the attempt; retries of resumable shards salvage."""
+        return replace(
+            task,
+            attempt=attempt,
+            resume=task.resume or (attempt > 1 and task.checkpoint),
+        )
+
+    verify_streams = config.verify_shard_streams
+    if verify_streams is None:
+        verify_streams = bool(config.faults)
+    verifier = (_verify_outcome
+                if verify_streams and config.out_stream is not None else None)
+    needs_isolation = any(f.needs_isolation for f in config.faults)
+    supervised = (workers > 1 or needs_isolation
+                  or config.shard_timeout_s is not None)
+
     started = time.perf_counter()
+    complete = False
     try:
-        if workers == 1:
-            outcomes = _run_shards_inline(tasks, meter)
+        timeouts = 0
+        if not supervised:
+            outcomes, failures, quarantined, retries, recovery_s = \
+                _run_shards_inline(
+                    tasks, meter, max_retries=config.max_retries,
+                    backoff_s=config.retry_backoff_s, retask=_retask,
+                    verify=verifier,
+                )
         else:
-            outcomes = _run_shards_pooled(tasks, workers, meter)
+            supervisor = ShardSupervisor(
+                tasks,
+                ctx=_pool_context(),
+                run_shard=_run_shard,
+                workers=workers,
+                max_retries=config.max_retries,
+                backoff_s=config.retry_backoff_s,
+                timeout_s=config.shard_timeout_s,
+                meter=meter,
+                verify=verifier,
+                retask=_retask,
+                initializer=_init_worker_progress,
+            )
+            report = supervisor.run()
+            outcomes = report.outcomes
+            failures = report.failures
+            quarantined = report.quarantined
+            retries = report.retries
+            timeouts = report.timeouts
+            recovery_s = report.recovery_wall_s
         if meter is not None:
             meter.finish()
-        if config.out_stream is not None and config.shards > 1:
-            # Streaming k-way merge by user id: holds one user's events
-            # per shard plus one chunk buffer, never the run.  The
-            # result is bit-identical to the artifact a 1-shard run
-            # writes (same events, same deterministic chunk boundaries).
-            merge_stream_files(config.out_stream, shard_paths,
-                               metadata=stream_metadata)
+        if config.out_stream is not None and (
+                not quarantined or config.allow_partial):
+            done_paths = [shard_paths[o.shard_index]
+                          for o in sorted(outcomes,
+                                          key=lambda o: o.shard_index)]
+            if done_paths:
+                publish_metadata = stream_metadata
+                if quarantined:
+                    # A partial artifact must say so in its own header.
+                    publish_metadata = dict(stream_metadata)
+                    publish_metadata["partial"] = True
+                    publish_metadata["quarantined_shards"] = list(quarantined)
+                if len(shard_paths) == 1 and not quarantined:
+                    os.replace(done_paths[0], config.out_stream)
+                else:
+                    # Streaming k-way merge by user id: holds one user's
+                    # events per shard plus one chunk buffer, never the
+                    # run.  The result is bit-identical to the artifact
+                    # a 1-shard run writes (same events, same
+                    # deterministic chunk boundaries); publication is an
+                    # atomic rename, so out_stream never holds a
+                    # half-written file.
+                    merged_tmp = os.path.join(run_dir, "merged.opstream")
+                    merge_stream_files(merged_tmp, done_paths,
+                                       metadata=publish_metadata)
+                    os.replace(merged_tmp, config.out_stream)
+        complete = not quarantined
     finally:
-        if config.shards > 1:
-            for path in shard_paths:
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
+        # Satellite of the supervision work: per-shard temps live in the
+        # run directory and are swept on *every* exit path — success,
+        # worker crash, merge failure, KeyboardInterrupt — except when
+        # the caller asked to keep a failed run around to resume it.
+        if run_dir is not None and not (config.keep_run_dir
+                                        and not complete):
+            shutil.rmtree(run_dir, ignore_errors=True)
     wall_s = time.perf_counter() - started
 
     outcomes.sort(key=lambda o: o.shard_index)
     merged_log = None
     if config.collect_ops:
         merged_log = UsageLog.merged(o.log for o in outcomes)
+    reused_chunks = sum(o.reused_chunks for o in outcomes)
+    reused_rows = sum(o.reused_rows for o in outcomes)
     merged_metrics = None
     if config.metrics_out is not None:
-        merged_metrics = merge_snapshots(
-            o.metrics for o in outcomes if o.metrics is not None
-        )
+        parts = [o.metrics for o in outcomes if o.metrics is not None]
+        # The coordinator contributes the recovery telemetry as one more
+        # snapshot part; merge_snapshots sums it like any shard's.
+        parts.append({
+            "counters": {
+                "fleet.retries": retries,
+                "fleet.timeouts": timeouts,
+                "fleet.quarantined_shards": len(quarantined),
+                "fleet.resume.chunks_reused": reused_chunks,
+                "fleet.resume.rows_reused": reused_rows,
+            },
+            "stages": {
+                "recovery": {
+                    "wall_s": recovery_s, "cpu_s": 0.0,
+                    "calls": int(retries), "rows": 0, "bytes": 0,
+                },
+            },
+        })
+        merged_metrics = merge_snapshots(parts)
     result = FleetResult(
         config=config,
         outcomes=outcomes,
@@ -612,9 +1157,17 @@ def run_fleet(config: FleetConfig) -> FleetResult:
         wall_s=wall_s,
         log=merged_log,
         plans=plans,
-        out_stream=config.out_stream,
+        out_stream=(config.out_stream if not quarantined
+                    or config.allow_partial else None),
         metrics=merged_metrics,
         metrics_out=config.metrics_out,
+        quarantined=tuple(quarantined),
+        failures=tuple(failures),
+        retries=retries,
+        timeouts=timeouts,
+        reused_chunks=reused_chunks,
+        reused_rows=reused_rows,
+        resumed=resuming,
     )
     if config.metrics_out is not None:
         manifest = build_manifest(
@@ -635,7 +1188,17 @@ def run_fleet(config: FleetConfig) -> FleetResult:
                 "arrivals": model is not None,
                 "time_limit_us": config.time_limit_us,
                 "out_stream": config.out_stream,
+                "status": "partial" if quarantined else "complete",
+                "quarantined_shards": list(quarantined),
+                "retries": retries,
+                "timeouts": timeouts,
+                "max_retries": config.max_retries,
+                "shard_timeout_s": config.shard_timeout_s,
+                "resumed": resuming,
+                "resume_chunks_reused": reused_chunks,
             },
         )
         write_manifest(config.metrics_out, manifest)
+    if quarantined and not config.allow_partial:
+        raise FleetPartialError(result)
     return result

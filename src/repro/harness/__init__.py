@@ -35,6 +35,7 @@ from .figures import (
 from .fleet import (
     fleet_aggregate_block,
     fleet_offered_load_block,
+    fleet_recovery_block,
     fleet_report,
 )
 from .report import format_kv, format_series, format_table
@@ -67,6 +68,7 @@ __all__ = [
     "table_5_4",
     "fleet_aggregate_block",
     "fleet_offered_load_block",
+    "fleet_recovery_block",
     "fleet_report",
     "format_kv",
     "format_series",

@@ -17,7 +17,7 @@ from ..fleet import FleetResult
 from .report import format_kv, format_table
 
 __all__ = ["fleet_aggregate_block", "fleet_offered_load_block",
-           "fleet_report"]
+           "fleet_recovery_block", "fleet_report"]
 
 
 def fleet_aggregate_block(result: FleetResult) -> str:
@@ -46,6 +46,37 @@ def fleet_offered_load_block(result: FleetResult) -> str | None:
         ],
         title="Offered load (windowed ops over simulated time)",
     )
+
+
+def fleet_recovery_block(result: FleetResult) -> str | None:
+    """Retry/resume accounting (None when the run was uneventful).
+
+    Shows only when something recovered or was lost: retried attempts,
+    timed-out shards, chunks reused by a resume, and — for partial runs
+    — which shards were quarantined and why their last attempt failed.
+    """
+    eventful = (result.retries or result.timeouts or result.quarantined
+                or result.resumed or result.reused_chunks)
+    if not eventful:
+        return None
+    kv: dict = {
+        "status": "PARTIAL" if result.partial else "complete",
+        "retries": result.retries,
+        "timeouts": result.timeouts,
+        "quarantined shards": (", ".join(str(s) for s in result.quarantined)
+                               or "none"),
+    }
+    if result.resumed or result.reused_chunks:
+        kv["resumed"] = result.resumed
+        kv["chunks reused"] = result.reused_chunks
+        kv["op rows reused"] = result.reused_rows
+    block = format_kv(kv, title="Recovery")
+    if result.quarantined:
+        failures = [f.describe() for f in result.failures
+                    if f.shard_index in result.quarantined]
+        if failures:
+            block += "\n" + "\n".join(f"  ! {line}" for line in failures)
+    return block
 
 
 def fleet_report(result: FleetResult) -> str:
@@ -85,4 +116,7 @@ def fleet_report(result: FleetResult) -> str:
     if offered is not None:
         blocks.append(offered)
     blocks += [shard_table, timing]
+    recovery = fleet_recovery_block(result)
+    if recovery is not None:
+        blocks.append(recovery)
     return "\n\n".join(blocks)

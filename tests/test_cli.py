@@ -472,3 +472,90 @@ class TestObservabilityCli:
         observed = capsys.readouterr().out
         assert observed == (
             bare + f"\nrun manifest written to {manifest_path}\n")
+
+
+class TestFaultToleranceCli:
+    """`fleet run` chaos flags, `--resume`, and `stream verify`."""
+
+    FLEET = ["fleet", "run", "--scenario", "dev-team", "--users", "2",
+             "--shards", "2", "--workers", "2", "--files", "60",
+             "--backend", "fast-columnar", "--stream-budget-bytes", "4096"]
+
+    def test_parser_accepts_fault_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "run", "--inject-fault", "kill:shard=0,row=9",
+             "--inject-fault", "bitflip:shard=1", "--max-retries", "5",
+             "--shard-timeout-s", "1.5", "--allow-partial",
+             "--keep-run-dir", "--resume", "some.run"])
+        assert args.inject_faults == ["kill:shard=0,row=9",
+                                      "bitflip:shard=1"]
+        assert args.max_retries == 5
+        assert args.shard_timeout_s == 1.5
+        assert args.allow_partial and args.keep_run_dir
+        assert args.resume == "some.run"
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        code = main(self.FLEET + ["--inject-fault", "explode:shard=0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_kill_fault_recovers_byte_identical(self, tmp_path, capsys):
+        clean = tmp_path / "clean.opstream"
+        assert main(self.FLEET + ["--out-stream", str(clean)]) == 0
+        chaos = tmp_path / "chaos.opstream"
+        code = main(self.FLEET + ["--out-stream", str(chaos),
+                                  "--inject-fault", "kill:shard=0,row=9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Recovery" in out and "retries" in out
+        assert chaos.read_bytes() == clean.read_bytes()
+
+    def test_quarantine_exits_3_then_resume_completes(self, tmp_path,
+                                                      capsys):
+        clean = tmp_path / "clean.opstream"
+        assert main(self.FLEET + ["--out-stream", str(clean)]) == 0
+        victim = tmp_path / "victim.opstream"
+        # No --keep-run-dir: a failed run keeps its checkpoints by
+        # default so --resume has something to pick up.
+        code = main(self.FLEET + [
+            "--out-stream", str(victim), "--max-retries", "0",
+            "--inject-fault", "kill:shard=0,row=9"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "quarantined" in captured.err
+        assert "PARTIAL" in captured.out
+        assert "--resume" in captured.out
+        run_dir = str(victim) + ".run"
+        code = main(["fleet", "run", "--resume", run_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chunks reused" in out
+        assert victim.read_bytes() == clean.read_bytes()
+
+    def test_resume_missing_dir_exits_2(self, tmp_path, capsys):
+        code = main(["fleet", "run", "--resume",
+                     str(tmp_path / "never.run")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_stream_verify_ok_and_corrupt(self, tmp_path, capsys):
+        path = tmp_path / "a.opstream"
+        assert main(self.FLEET + ["--out-stream", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["stream", "verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out and "ok" in out
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert main(["stream", "verify", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+
+    def test_stream_verify_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["stream", "verify", str(tmp_path / "no.opstream")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
