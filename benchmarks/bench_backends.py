@@ -368,7 +368,7 @@ def results_table(results: dict) -> str:
             f"{results['speedup_columnar_over_fast']:.1f}x fast "
             f"({results['speedup_columnar_over_sim']:.1f}x sim, "
             f"{results['speedup_columnar_over_sim_arrivals']:.1f}x sim "
-            f"with arrivals); metrics overhead "
+            "with arrivals); metrics overhead "
             f"{results['metrics_overhead_pct']:+.1f}%"
         ),
     )

@@ -135,7 +135,7 @@ def results_table(results: dict) -> str:
             f"Fleet scaling — {results['scenario']}, {results['users']} "
             f"users, seed {results['seed']}, "
             f"{results['usable_cores']}/{results['detected_cores']} "
-            f"usable/detected cores"
+            "usable/detected cores"
         ),
     )
 
@@ -159,7 +159,7 @@ def test_bench_fleet_scaling(benchmark):
         by_shards = {r["shards"]: r for r in results["runs"]}
         speedup = by_shards[4]["speedup"]
         assert speedup >= 2.0, (
-            f"expected >=2x speedup at 4 shards on "
+            "expected >=2x speedup at 4 shards on "
             f"{results['usable_cores']} cores, got {speedup:.2f}x"
         )
 
@@ -173,6 +173,6 @@ if __name__ == "__main__":
         by_shards = {r["shards"]: r for r in results["runs"]}
         if by_shards[4]["speedup"] < 2.0:
             raise SystemExit(
-                f"expected >=2x speedup at 4 shards, got "
+                "expected >=2x speedup at 4 shards, got "
                 f"{by_shards[4]['speedup']:.2f}x"
             )

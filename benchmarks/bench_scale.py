@@ -200,7 +200,7 @@ def check_memory_flat(results: dict) -> None:
         f"peak RSS grew {ratio:.2f}x from "
         f"{basis[0]} to {basis[-1]} users "
         f"(artifact grew {results['data_ratio_largest_vs_smallest']:.1f}x "
-        f"over the sweep); the stream sink must keep memory flat"
+        "over the sweep); the stream sink must keep memory flat"
     )
 
 

@@ -672,7 +672,7 @@ def _main_stream(args: argparse.Namespace) -> int:
                 lo, hi = args.window_us.split(":")
                 time_range = (float(lo), float(hi))
             except ValueError:
-                print(f"error: --window-us wants LO:HI, got "
+                print("error: --window-us wants LO:HI, got "
                       f"{args.window_us!r}", file=sys.stderr)
                 return 2
         sink = ShardAccumulator(collect_ops=args.oplog is not None)

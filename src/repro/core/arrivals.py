@@ -98,7 +98,7 @@ class LoadProfile:
         w = np.asarray(list(weights), dtype=np.float64)
         if len(edges) != len(w) + 1:
             raise ArrivalError(
-                f"need len(edges_us) == len(weights) + 1, got "
+                "need len(edges_us) == len(weights) + 1, got "
                 f"{len(edges)} edges for {len(w)} weights"
             )
         if len(w) == 0:
@@ -376,7 +376,7 @@ def arrival_model_from_jsonable(payload: dict[str, Any]) -> ArrivalModel:
     """Decode :func:`arrival_model_to_jsonable` output."""
     if not isinstance(payload, dict):
         raise ArrivalError(
-            f"arrivals payload must be an object, got "
+            "arrivals payload must be an object, got "
             f"{type(payload).__name__}"
         )
     try:

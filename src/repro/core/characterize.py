@@ -147,7 +147,8 @@ def _fit(samples: list[float], method: str) -> Distribution:
         if len(data) >= _MIN_FIT_SAMPLES and float(np.std(data)) > 0:
             try:
                 return fit_best(data, max_phases=2).distribution
-            except Exception:  # degenerate data: fall through
+            # detlint: ignore[swallowed-exceptions] — degenerate fit: empirical fallback below
+            except Exception:
                 pass
         return EmpiricalDistribution(data)
     if method == "exponential":

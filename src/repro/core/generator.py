@@ -23,7 +23,7 @@ surfaces).  Point-mass distributions are kept exact rather than tabulated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -53,7 +53,7 @@ from .execution import (
 from .fsc import FileSystemCreator, FileSystemLayout
 from .gds import DistributionSpecifier
 from .oplog import OpSink, UsageLog
-from .spec import UsageSpec, UserTypeSpec, WorkloadSpec
+from .spec import UserTypeSpec, WorkloadSpec
 from .synthesis import SessionGenerator
 from .usim import RealRunner
 

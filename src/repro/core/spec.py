@@ -22,7 +22,7 @@ import enum
 from dataclasses import dataclass, field
 from functools import cached_property
 
-from ..distributions import Constant, Distribution, ShiftedExponential
+from ..distributions import Distribution, ShiftedExponential
 
 __all__ = [
     "FileType",
@@ -162,10 +162,10 @@ class FileCategorySpec:
     size_distribution: Distribution
     fraction_of_files: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not (0.0 <= self.fraction_of_files <= 1.0):
             raise SpecError(
-                f"fraction_of_files must be in [0,1], got "
+                "fraction_of_files must be in [0,1], got "
                 f"{self.fraction_of_files!r} for {self.category.key}"
             )
 
@@ -185,10 +185,10 @@ class UsageSpec:
     file_size: Distribution
     fraction_of_users: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not (0.0 <= self.fraction_of_users <= 1.0):
             raise SpecError(
-                f"fraction_of_users must be in [0,1], got "
+                "fraction_of_users must be in [0,1], got "
                 f"{self.fraction_of_users!r} for {self.category.key}"
             )
 
@@ -214,7 +214,7 @@ class UserTypeSpec:
     access_size: Distribution = field(default_factory=_default_access_size)
     max_open_files: int = 8
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name:
             raise SpecError("user type needs a non-empty name")
         if not (0.0 < self.fraction <= 1.0):
@@ -250,7 +250,7 @@ class WorkloadSpec:
     n_users: int = 1
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.file_categories:
             raise SpecError("need at least one file category")
         if not self.user_types:

@@ -46,7 +46,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -61,7 +61,6 @@ from .opbatch import (
     KIND_OPEN,
     KIND_READ,
     KIND_STAT,
-    KIND_THINK,
     KIND_UNLINK,
     KIND_WRITE,
     OpBatch,
@@ -186,7 +185,7 @@ class _FilePlan:
         return op
 
 
-def _stream_factory(streams: RandomStreams, name: str):
+def _stream_factory(streams: RandomStreams, name: str) -> Callable[[], np.random.Generator]:
     """A zero-arg constructor for ``streams.get(name)``.
 
     Handed to :class:`BatchSampler` as ``rng_factory`` so streams that a
@@ -424,7 +423,7 @@ class SessionGenerator:
     ):
         if access_pattern not in ("sequential", "random"):
             raise ValueError(
-                f"access_pattern must be sequential|random, got "
+                "access_pattern must be sequential|random, got "
                 f"{access_pattern!r}"
             )
         self.user_type = user_type

@@ -1,0 +1,323 @@
+"""detlint — determinism & concurrency static analysis for this repo.
+
+Every claim this reproduction makes (cross-backend byte-identity,
+shard-invariant merges, bit-for-bit resume) rests on source-level rules
+that used to live only in docs prose and golden tests.  Golden tests catch
+a violation *after* it corrupts an artifact; detlint catches it at the
+line that introduces it.
+
+Usage::
+
+    python -m repro.devtools.detlint src [--json] [--rules a,b] \\
+        [--registry PATH]
+
+Exit codes: 0 clean, 1 findings, 2 usage/parse error.
+
+Suppressing a finding requires a justification::
+
+    rng = np.random.default_rng(seed)  # detlint: ignore[no-global-rng] — seeded per call
+
+A pragma without a reason (or naming an unknown rule) is itself reported
+as ``bad-pragma``.  A standalone comment line applies to the next line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import re
+import sys
+from dataclasses import asdict, dataclass
+
+from . import policy
+from .rules import ALL_RULES
+
+__all__ = [
+    "Finding",
+    "Pragma",
+    "collect_pragmas",
+    "lint_file",
+    "lint_paths",
+    "load_registry",
+    "main",
+    "module_relpath",
+]
+
+JSON_FORMAT = "repro.detlint-report"
+JSON_VERSION = 1
+
+_PRAGMA_RE = re.compile(
+    r"#\s*detlint:\s*ignore\[(?P<rules>[^\]]*)\](?P<reason>.*)$"
+)
+_REASON_STRIP = " \t—–:-"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, stable across output formats."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"[{self.rule}] {self.message}")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """A parsed ``detlint: ignore[rule, ...]`` suppression comment."""
+
+    line: int          # line the pragma suppresses
+    comment_line: int  # line the comment physically sits on
+    rules: tuple[str, ...]
+    reason: str
+
+
+def module_relpath(path: str, root: str | None = None) -> str:
+    """The policy-matching path: the part after the last ``repro`` dir.
+
+    Falls back to the path relative to ``root`` (or the basename) for
+    files outside a ``repro`` package, so staged fixture trees behave
+    like the real one.
+    """
+    parts = os.path.normpath(path).replace(os.sep, "/").split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro" and i + 1 < len(parts):
+            return "/".join(parts[i + 1:])
+    if root is not None:
+        rel = os.path.relpath(path, root)
+        if not rel.startswith(".."):
+            return rel.replace(os.sep, "/")
+    return parts[-1]
+
+
+def collect_pragmas(source: str) -> tuple[list[Pragma], list[Finding]]:
+    """Parse every detlint pragma; malformed ones become bad-pragma findings.
+
+    The reason is mandatory: a pragma that does not say *why* the rule is
+    safe to break here is rejected (and does not suppress anything).
+    """
+    pragmas: list[Pragma] = []
+    bad: list[Finding] = []
+    lines = source.splitlines()
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = match.group("reason").strip(_REASON_STRIP)
+        standalone = text[: match.start()].strip() == ""
+        if standalone:
+            # A standalone pragma comment governs the next *code* line;
+            # blank lines and continuation comments in between are part
+            # of the (possibly wrapped) justification.
+            target = lineno + 1
+            while target <= len(lines) and (
+                not lines[target - 1].strip()
+                or lines[target - 1].lstrip().startswith("#")
+            ):
+                target += 1
+        else:
+            target = lineno
+        unknown = [r for r in rules if r not in ALL_RULES]
+        if not rules:
+            bad.append(Finding("", lineno, 0, "bad-pragma",
+                               "pragma names no rules: use "
+                               "'detlint: ignore[rule-id] — reason'"))
+            continue
+        if unknown:
+            bad.append(Finding("", lineno, 0, "bad-pragma",
+                               f"pragma names unknown rule(s) {unknown}; "
+                               f"known: {sorted(ALL_RULES)}"))
+            continue
+        if not reason:
+            bad.append(Finding("", lineno, 0, "bad-pragma",
+                               f"pragma for {list(rules)} has no reason; a "
+                               "justification is mandatory"))
+            continue
+        pragmas.append(Pragma(line=target, comment_line=lineno,
+                              rules=rules, reason=reason))
+    return pragmas, bad
+
+
+def load_registry(path: str) -> tuple[frozenset, tuple]:
+    """Parse STREAM_NAMES / STREAM_PREFIXES out of a registry module.
+
+    AST-based (never imports the tree under analysis).  Raises ValueError
+    when the module does not define both.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    found: dict[str, object] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (isinstance(target, ast.Name)
+                    and target.id in ("STREAM_NAMES", "STREAM_PREFIXES")):
+                value = node.value
+                # unwrap frozenset({...}) / tuple((...)) wrappers
+                if (isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id in ("frozenset", "set", "tuple")
+                        and value.args):
+                    value = value.args[0]
+                found[target.id] = ast.literal_eval(value)
+    if "STREAM_NAMES" not in found or "STREAM_PREFIXES" not in found:
+        raise ValueError(
+            f"{path} does not define STREAM_NAMES and STREAM_PREFIXES"
+        )
+    return (frozenset(found["STREAM_NAMES"]),
+            tuple(found["STREAM_PREFIXES"]))
+
+
+def _find_registry(files: list[str]) -> str | None:
+    for path in files:
+        if module_relpath(path) == policy.REGISTRY_RELPATH:
+            return path
+    return None
+
+
+class _Context:
+    """Per-file rule input: parsed tree, policy path, stream registry."""
+
+    def __init__(self, path: str, relpath: str, tree: ast.AST,
+                 registry: tuple[frozenset, tuple] | None):
+        self.path = path
+        self.relpath = relpath
+        self.tree = tree
+        self.registry = registry
+
+
+def lint_file(path: str, rules: dict, registry, root: str | None = None,
+              relpath: str | None = None) -> list[Finding]:
+    """All findings for one file, pragmas applied."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 1, (exc.offset or 1) - 1,
+                        "parse-error", f"cannot parse: {exc.msg}")]
+    pragmas, bad = collect_pragmas(source)
+    suppressed: dict[int, set[str]] = {}
+    for pragma in pragmas:
+        suppressed.setdefault(pragma.line, set()).update(pragma.rules)
+    ctx = _Context(path, relpath or module_relpath(path, root), tree,
+                   registry)
+    findings = [Finding(path, f.line, f.col, f.rule, f.message)
+                for f in bad]
+    for rule_id, (impl, _desc) in rules.items():
+        for lineno, col, message in impl(ctx):
+            if rule_id in suppressed.get(lineno, ()):
+                continue
+            findings.append(Finding(path, lineno, col, rule_id, message))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def _iter_python_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            raise FileNotFoundError(path)
+    return files
+
+
+def lint_paths(paths: list[str], rule_ids: list[str] | None = None,
+               registry_path: str | None = None,
+               ) -> tuple[list[Finding], int]:
+    """Lint files/trees; returns ``(findings, n_files_checked)``."""
+    files = _iter_python_files(paths)
+    rules = dict(ALL_RULES)
+    if rule_ids is not None:
+        unknown = sorted(set(rule_ids) - set(ALL_RULES))
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {unknown}")
+        rules = {rid: ALL_RULES[rid] for rid in rule_ids}
+    if registry_path is None:
+        registry_path = _find_registry(files)
+    registry = load_registry(registry_path) if registry_path else None
+    root = os.path.commonpath([os.path.abspath(p) for p in paths]) \
+        if paths else None
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, rules, registry, root=root))
+    return findings, len(files)
+
+
+def _report_json(findings: list[Finding], n_files: int,
+                 rules: list[str]) -> str:
+    counts: dict[str, int] = {rid: 0 for rid in rules}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "format": JSON_FORMAT,
+        "version": JSON_VERSION,
+        "rules": rules,
+        "checked_files": n_files,
+        "findings": [asdict(f) for f in findings],
+        "counts": {k: v for k, v in sorted(counts.items()) if v},
+        "ok": not findings,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.detlint",
+        description="Determinism & concurrency static analysis.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run (default all)")
+    parser.add_argument("--registry", default=None,
+                        help="path to the stream-name registry module "
+                             "(default: discovered in the scanned tree)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, (_impl, desc) in ALL_RULES.items():
+            print(f"{rule_id:22s} {desc}")
+        return 0
+
+    rule_ids = ([r.strip() for r in args.rules.split(",") if r.strip()]
+                if args.rules else None)
+    try:
+        findings, n_files = lint_paths(args.paths, rule_ids=rule_ids,
+                                       registry_path=args.registry)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"detlint: error: {exc}", file=sys.stderr)
+        return 2
+
+    enabled = rule_ids if rule_ids is not None else list(ALL_RULES)
+    if args.json:
+        print(_report_json(findings, n_files, enabled))
+    else:
+        for finding in findings:
+            print(finding.render())
+        status = ("clean" if not findings
+                  else f"{len(findings)} finding(s)")
+        print(f"detlint: {n_files} file(s) checked, {status}")
+    return 1 if findings else 0

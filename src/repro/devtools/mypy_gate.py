@@ -1,0 +1,141 @@
+"""mypy_gate — ratchet mypy's error count over the typed core.
+
+The repo is not fully typed, so a plain ``mypy && exit $?`` gate would
+be red forever and teach everyone to ignore it.  This gate pins the
+*current* error count in ``MYPY_BASELINE.json`` and fails only when the
+count **grows** — new code can't add type errors, old debt burns down at
+its own pace.  Shrinking the count prints a nudge to re-pin the lower
+number so improvements lock in.
+
+Usage::
+
+    python -m repro.devtools.mypy_gate                # run mypy, compare
+    python -m repro.devtools.mypy_gate --report F     # gate a saved report
+    python -m repro.devtools.mypy_gate --update-baseline
+
+A ``null`` baseline is bootstrap mode: the gate measures, reports, and
+passes — CI stays green until someone pins the first count.  When mypy
+itself is not installed (the local container does not ship it) the gate
+prints a notice and passes; CI installs mypy before invoking it.
+
+Exit codes: 0 gate passes (or advisory skip), 1 error count grew,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+__all__ = ["count_errors", "evaluate", "load_baseline", "main"]
+
+DEFAULT_BASELINE = "MYPY_BASELINE.json"
+DEFAULT_TARGETS = ("src/repro/core", "src/repro/fleet")
+
+# mypy error lines look like ``path.py:12: error: message  [code]``;
+# summary lines ("Found 3 errors in 2 files") must not be counted.
+_ERROR_LINE = re.compile(r"^.+?:\d+(?::\d+)?: error: ")
+
+
+def count_errors(report: str) -> int:
+    """Number of mypy error lines in a report (summary lines excluded)."""
+    return sum(1 for line in report.splitlines() if _ERROR_LINE.match(line))
+
+
+def load_baseline(path: str) -> dict:
+    """The pinned baseline: ``{"error_count": int | None, "targets": [...]}``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if "error_count" not in data:
+        raise ValueError(f"{path} has no 'error_count' key")
+    count = data["error_count"]
+    if count is not None and (not isinstance(count, int) or count < 0):
+        raise ValueError(f"{path}: error_count must be null or int >= 0")
+    return data
+
+
+def evaluate(measured: int, baseline: int | None) -> tuple[int, str]:
+    """``(exit_code, verdict line)`` for a measured count vs the pin."""
+    if baseline is None:
+        return 0, (f"mypy-gate: {measured} error(s), baseline unpinned "
+                   "(bootstrap) — pin with --update-baseline to start "
+                   "the ratchet")
+    if measured > baseline:
+        return 1, (f"mypy-gate: FAIL — {measured} error(s) > baseline "
+                   f"{baseline}; fix the new errors (or, for pre-existing "
+                   "debt, justify and re-pin)")
+    if measured < baseline:
+        return 0, (f"mypy-gate: pass — {measured} error(s), down from "
+                   f"{baseline}; run --update-baseline to lock in the "
+                   "improvement")
+    return 0, f"mypy-gate: pass — {measured} error(s), at baseline"
+
+
+def _run_mypy(targets: list[str]) -> str | None:
+    """mypy's stdout over targets, or None when mypy is not installed."""
+    if shutil.which("mypy") is None:
+        return None
+    proc = subprocess.run(
+        ["mypy", *targets], capture_output=True, text=True, check=False
+    )
+    return proc.stdout + proc.stderr
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.mypy_gate",
+        description="Ratchet gate on mypy's error count.",
+    )
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline JSON (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--report", default=None,
+                        help="gate a saved mypy report instead of running "
+                             "mypy (used by tests and split CI steps)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="pin the measured count as the new baseline")
+    args = parser.parse_args(argv)
+
+    try:
+        data = load_baseline(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"mypy-gate: error: {exc}", file=sys.stderr)
+        return 2
+
+    targets = list(data.get("targets") or DEFAULT_TARGETS)
+    if args.report is not None:
+        try:
+            with open(args.report, "r", encoding="utf-8") as fh:
+                report = fh.read()
+        except OSError as exc:
+            print(f"mypy-gate: error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        maybe = _run_mypy(targets)
+        if maybe is None:
+            print("mypy-gate: mypy not installed; skipping (advisory)")
+            return 0
+        report = maybe
+
+    measured = count_errors(report)
+    if args.update_baseline:
+        data["error_count"] = measured
+        tmp = args.baseline + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, args.baseline)
+        print(f"mypy-gate: baseline pinned at {measured} error(s)")
+        return 0
+
+    code, verdict = evaluate(measured, data["error_count"])
+    print(verdict)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

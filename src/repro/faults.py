@@ -176,6 +176,7 @@ def random_faults(seed: int, n_shards: int, max_row: int,
 
     if max_row < 1:
         raise FaultError(f"max_row must be >= 1, got {max_row}")
+    # detlint: ignore[no-global-rng] — explicit per-call seed; fault draws never touch run streams
     rng = np.random.default_rng(seed)
     out = []
     for _ in range(count):

@@ -156,7 +156,7 @@ class WorkloadTally:
                 self.window_us = other.window_us
             elif not (other.window_us is None and other.operations == 0):
                 raise ValueError(
-                    f"cannot merge tallies with different windows: "
+                    "cannot merge tallies with different windows: "
                     f"{self.window_us} vs {other.window_us}"
                 )
         self.sessions += other.sessions

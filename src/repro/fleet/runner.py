@@ -209,14 +209,14 @@ class FleetConfig:
     keep_run_dir: bool = False
     verify_shard_streams: bool | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if (self.scenario is None) == (self.spec is None):
             raise SpecError(
                 "set exactly one of FleetConfig.scenario or FleetConfig.spec"
             )
         if self.access_pattern not in (None, "sequential", "random"):
             raise SpecError(
-                f"access_pattern must be sequential|random, got "
+                "access_pattern must be sequential|random, got "
                 f"{self.access_pattern!r}"
             )
         if self.backend not in _BACKENDS:
@@ -241,7 +241,7 @@ class FleetConfig:
         if self.stream_budget_bytes is not None:
             if self.stream_budget_bytes < 1:
                 raise SpecError(
-                    f"stream_budget_bytes must be >= 1, got "
+                    "stream_budget_bytes must be >= 1, got "
                     f"{self.stream_budget_bytes}"
                 )
             if self.out_stream is None:

@@ -265,7 +265,7 @@ class ShardSupervisor:
                             and current_attempt.get(shard)
                             == worker.attempt):
                         fail(shard, worker.attempt, "died",
-                             f"worker exited with code "
+                             "worker exited with code "
                              f"{worker.process.exitcode}")
                     worker.process.join()
                     del workers[worker_id]

@@ -111,6 +111,7 @@ def ablation_cdf_table_points(
     draws from the table and the analytic source distribution.
     """
     source = PhaseTypeExponential([0.6, 0.4], [800.0, 2500.0], [0.0, 1500.0])
+    # detlint: ignore[no-global-rng] — explicit per-call seed; ablation study, not the op stream
     rng = np.random.default_rng(seed)
     rows = []
     for n_points in points:

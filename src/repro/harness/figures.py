@@ -19,7 +19,7 @@ unreadable panels are reconstructed with parameters of the same shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -39,9 +39,9 @@ from ..distributions import (
     PhaseTypeExponential,
     RandomStreams,
 )
-from ..nfs import NfsTiming, SUN_NFS_TIMING
+from ..nfs import NfsTiming
 from ..vfs import MemoryFileSystem
-from .report import format_series, format_table
+from .report import format_table
 
 __all__ = [
     "TableResult",

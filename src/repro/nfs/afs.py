@@ -12,7 +12,7 @@ trade-off for the section 5.3 comparison procedure.
 from __future__ import annotations
 
 from ..sim import Delay, Engine
-from ..vfs import InvalidArgumentError, NoSuchFileError, OpenFlags, Stat
+from ..vfs import InvalidArgumentError, Stat
 from .cache import WholeFileCache
 from .client_base import ClientOpenFile, SimulatedClientBase
 from .network import NetworkLink

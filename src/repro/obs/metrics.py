@@ -144,6 +144,8 @@ def merge_snapshots(parts: Iterable[dict]) -> dict:
                 "rows": 0, "bytes": 0,
             })
             for key in mine:
+                # detlint: ignore[float-accum] — spans are additive totals folded in fixed shard
+                # order (not statistics); the Welford path below handles every distributional metric
                 mine[key] += span.get(key, 0)
         for name, value in part.get("counters", {}).items():
             counters[name] = counters.get(name, 0) + int(value)

@@ -155,11 +155,15 @@ class QueueProgressSender:
         self._last_send = now
         try:
             self.queue.put_nowait((self.shard, users, ops, False))
-        except Exception:  # queue.Full or a torn-down queue — drop it
+        # detlint: ignore[swallowed-exceptions] — lossy progress channel: queue.Full and
+        # torn-down-queue drops are by design; samples are advisory, never load-bearing
+        except Exception:
             pass
 
     def finish(self, users: int, ops: int) -> None:
         try:
             self.queue.put_nowait((self.shard, users, ops, True))
+        # detlint: ignore[swallowed-exceptions] — lossy progress channel; final sample is
+        # best-effort (the supervisor's result queue, not this, decides shard completion)
         except Exception:
             pass

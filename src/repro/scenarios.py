@@ -34,7 +34,7 @@ Registering your own::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Protocol
 
 from .core.arrivals import ArrivalModel, get_profile
 from .core.datasets import paper_workload_spec
@@ -97,7 +97,7 @@ class Scenario:
     def __post_init__(self):
         if self.access_pattern not in ("sequential", "random"):
             raise ValueError(
-                f"access_pattern must be sequential|random, got "
+                "access_pattern must be sequential|random, got "
                 f"{self.access_pattern!r}"
             )
 

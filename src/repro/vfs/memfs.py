@@ -118,7 +118,7 @@ class MemoryFileSystem:
                 )
             child_num = node.entries.get(part)
             if child_num is None:
-                raise NoSuchFileError(f"no such file or directory", path=path)
+                raise NoSuchFileError("no such file or directory", path=path)
             node = self._inodes[child_num]
         return node
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import FileCategory, FileSystemCreator, paper_workload_spec
-from repro.core.fsc import FileSystemLayout, CreatedFile
 from repro.distributions import RandomStreams
 from repro.vfs import MemoryFileSystem
 

@@ -1,0 +1,8 @@
+"""BAD: naive float accumulation in a shard-merge path."""
+
+
+def merge_means(parts):
+    total = 0.0
+    for part in parts:
+        total += part.mean
+    return total / len(parts) + sum(p.var for p in parts)

@@ -1,0 +1,13 @@
+"""BAD: process/pool targets that cannot survive pickling."""
+
+import multiprocessing as mp
+
+
+def launch(shards):
+    def run_shard(shard):
+        return shard * 2
+
+    worker = mp.Process(target=run_shard, args=(shards[0],))
+    worker.start()
+    with mp.Pool(2) as pool:
+        return pool.map(lambda s: s * 2, shards)

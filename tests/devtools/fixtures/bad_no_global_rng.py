@@ -1,0 +1,16 @@
+"""BAD: draws from module-global RNG state instead of named streams."""
+
+import random
+
+import numpy as np
+
+
+def jitter(n):
+    rng = np.random.default_rng()
+    return [random.random() + float(x) for x in rng.random(n)]
+
+
+def pick(items):
+    from numpy.random import default_rng
+
+    return default_rng().choice(items)

@@ -1,0 +1,11 @@
+"""BAD (when staged under repro/core/): reads wall clocks in generation."""
+
+import time
+from datetime import datetime
+
+
+def stamp_ops(ops):
+    started = time.monotonic()
+    for op in ops:
+        op.start_us = time.time() * 1e6
+    return datetime.now(), time.perf_counter() - started

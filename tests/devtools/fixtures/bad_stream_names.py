@@ -1,0 +1,9 @@
+"""BAD: misspelled / unregistered stream names (silently wrong seeds)."""
+
+
+def build(streams, user_id, key):
+    base = streams.fork(f"user-{user_id}")
+    mix = base.get("writemix")
+    seed = streams.spawn_seed(f"worker-{user_id}")
+    tail = base.get(f"{key}:count")
+    return mix, seed, tail

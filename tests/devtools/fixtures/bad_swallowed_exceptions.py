@@ -1,0 +1,13 @@
+"""BAD: supervision-path errors vanish without a trace."""
+
+
+def retry(task, attempts):
+    for _ in range(attempts):
+        try:
+            return task()
+        except Exception:
+            pass
+    try:
+        return task()
+    except:
+        pass

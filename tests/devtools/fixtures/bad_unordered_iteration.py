@@ -1,0 +1,11 @@
+"""BAD: set iteration order leaks into a serialized artifact."""
+
+
+def dump_users(user_ids, out):
+    for uid in set(user_ids):
+        out.write(f"{uid}\n")
+
+
+def merge_keys(parts):
+    seen = {k for part in parts for k in part}
+    return list(seen)

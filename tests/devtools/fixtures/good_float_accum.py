@@ -1,0 +1,10 @@
+"""GOOD: exact integer accumulation + Welford merge for statistics."""
+
+
+def merge_stats(parts, stats_cls):
+    merged = stats_cls()
+    rows = 0
+    for part in parts:
+        merged = merged.merge(part.stats)
+        rows += int(part.rows)
+    return merged, rows

@@ -1,0 +1,14 @@
+"""GOOD: module-level, picklable worker targets."""
+
+import multiprocessing as mp
+
+
+def run_shard(shard):
+    return shard * 2
+
+
+def launch(shards):
+    worker = mp.Process(target=run_shard, args=(shards[0],))
+    worker.start()
+    with mp.Pool(2) as pool:
+        return pool.map(run_shard, shards)

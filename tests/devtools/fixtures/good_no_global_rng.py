@@ -1,0 +1,8 @@
+"""GOOD: all randomness flows through named RandomStreams streams."""
+
+from repro.distributions import RandomStreams
+
+
+def jitter(streams: RandomStreams, n):
+    rng = streams.get("think")
+    return rng.random(n)

@@ -1,0 +1,7 @@
+"""GOOD: generation-path time comes from the simulated clock only."""
+
+
+def stamp_ops(ops, engine):
+    for op in ops:
+        op.start_us = engine.now
+    return engine.now

@@ -1,0 +1,9 @@
+"""GOOD: every stream name / family prefix exists in the registry."""
+
+
+def build(streams, user_id, key):
+    base = streams.fork(f"user-{user_id}")
+    mix = base.get("write-mix")
+    seed = streams.spawn_seed(f"shard-{user_id}")
+    tail = base.get(f"count:{key}")
+    return mix, seed, tail

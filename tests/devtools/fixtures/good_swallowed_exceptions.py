@@ -1,0 +1,12 @@
+"""GOOD: failures are reported, re-raised or narrowly handled."""
+
+
+def retry(task, attempts, report):
+    last = None
+    for attempt in range(attempts):
+        try:
+            return task()
+        except ValueError as exc:
+            last = exc
+            report(attempt, exc)
+    raise last

@@ -1,0 +1,11 @@
+"""GOOD: sets are sorted before feeding an ordered artifact."""
+
+
+def dump_users(user_ids, out):
+    for uid in sorted(set(user_ids)):
+        out.write(f"{uid}\n")
+
+
+def merge_keys(parts):
+    seen = {k for part in parts for k in part}
+    return sorted(seen)

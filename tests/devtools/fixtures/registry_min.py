@@ -1,0 +1,5 @@
+"""Minimal stream-name registry fixture for detlint tests."""
+
+STREAM_NAMES = frozenset({"write-mix", "think"})
+
+STREAM_PREFIXES = ("user-", "shard-", "count:")

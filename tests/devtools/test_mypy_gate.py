@@ -1,0 +1,103 @@
+"""Tests for the mypy ratchet gate (driven by canned reports, not mypy)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.mypy_gate import (
+    count_errors,
+    evaluate,
+    load_baseline,
+    main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CANNED_REPORT = """\
+src/repro/core/usim.py:42: error: Incompatible return value type  [return-value]
+src/repro/core/usim.py:99: note: See https://example for context
+src/repro/fleet/merge.py:7:13: error: Argument 1 has incompatible type  [arg-type]
+Found 2 errors in 2 files (checked 40 source files)
+"""
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(payload)
+    return str(path)
+
+
+def _baseline(tmp_path, error_count):
+    return _write(tmp_path, "baseline.json", json.dumps(
+        {"error_count": error_count, "targets": ["src/repro/core"]}
+    ))
+
+
+def test_count_errors_skips_notes_and_summary():
+    assert count_errors(CANNED_REPORT) == 2
+    assert count_errors("Success: no issues found in 40 source files\n") == 0
+
+
+@pytest.mark.parametrize("measured,baseline,code", [
+    (2, 2, 0),    # at the pin
+    (1, 2, 0),    # improvement
+    (3, 2, 1),    # regression
+    (5, None, 0), # bootstrap: unpinned baseline always passes
+])
+def test_evaluate_ratchet(measured, baseline, code):
+    got, verdict = evaluate(measured, baseline)
+    assert got == code
+    assert "mypy-gate" in verdict
+
+
+def test_main_passes_at_baseline(tmp_path, capsys):
+    report = _write(tmp_path, "report.txt", CANNED_REPORT)
+    rc = main(["--baseline", _baseline(tmp_path, 2), "--report", report])
+    assert rc == 0
+    assert "at baseline" in capsys.readouterr().out
+
+
+def test_main_fails_on_regression(tmp_path, capsys):
+    report = _write(tmp_path, "report.txt", CANNED_REPORT)
+    rc = main(["--baseline", _baseline(tmp_path, 1), "--report", report])
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_main_bootstrap_null_baseline_passes(tmp_path, capsys):
+    report = _write(tmp_path, "report.txt", CANNED_REPORT)
+    rc = main(["--baseline", _baseline(tmp_path, None), "--report", report])
+    assert rc == 0
+    assert "bootstrap" in capsys.readouterr().out
+
+
+def test_update_baseline_pins_measured_count(tmp_path, capsys):
+    report = _write(tmp_path, "report.txt", CANNED_REPORT)
+    baseline = _baseline(tmp_path, None)
+    rc = main(["--baseline", baseline, "--report", report,
+               "--update-baseline"])
+    assert rc == 0
+    assert json.loads(Path(baseline).read_text())["error_count"] == 2
+    # and the ratchet now holds at the pinned count
+    assert main(["--baseline", baseline, "--report", report]) == 0
+
+
+def test_malformed_baseline_exits_two(tmp_path, capsys):
+    bad = _write(tmp_path, "baseline.json", '{"targets": []}')
+    assert main(["--baseline", bad]) == 2
+    assert "error_count" in capsys.readouterr().err
+
+
+def test_missing_report_exits_two(tmp_path, capsys):
+    rc = main(["--baseline", _baseline(tmp_path, 0),
+               "--report", str(tmp_path / "nope.txt")])
+    assert rc == 2
+
+
+def test_shipped_baseline_is_loadable():
+    data = load_baseline(str(REPO_ROOT / "MYPY_BASELINE.json"))
+    assert data["error_count"] is None or data["error_count"] >= 0
+    assert data["targets"] == ["src/repro/core", "src/repro/fleet"]

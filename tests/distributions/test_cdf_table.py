@@ -7,7 +7,6 @@ from repro.distributions import (
     CdfTable,
     Constant,
     DistributionError,
-    MultiStageGamma,
     PhaseTypeExponential,
     ShiftedExponential,
     ShiftedGamma,
